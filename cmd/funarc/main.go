@@ -1,0 +1,42 @@
+// Command funarc reproduces the paper's motivating example (§II-B,
+// Fig. 2): a brute-force sweep of all 2^8 mixed-precision variants of
+// the funarc arc-length kernel, reporting the speedup-error scatter, the
+// optimal frontier, and the Fig. 3-style diff of the frontier pick.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+	"repro/internal/search"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "noise seed")
+	all := flag.Bool("all", false, "print every variant, not just the summary")
+	flag.Parse()
+
+	r, err := experiments.Fig2(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "funarc:", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.RenderFig2(r))
+
+	if *all {
+		pts := append([]experiments.Point(nil), r.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Speedup > pts[j].Speedup })
+		fmt.Println("\nall variants (fastest first):")
+		for _, p := range pts {
+			marker := " "
+			if p.Status != search.StatusPass && p.Status != search.StatusFail {
+				marker = "!"
+			}
+			fmt.Printf("  %s %3.0f%% 32-bit  speedup %6.3f  err %9.3e\n",
+				marker, p.Pct32, p.Speedup, p.RelErr)
+		}
+	}
+}

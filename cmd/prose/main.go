@@ -1,0 +1,300 @@
+// Command prose is the PROSE-Go precision tuner CLI: it applies the
+// paper's automated, performance-guided FPPT cycle to the bundled
+// weather/climate model surrogates (or funarc).
+//
+// Usage:
+//
+//	prose models                       list the bundled tuning targets
+//	prose baseline -model NAME         profile the baseline (Table I data)
+//	prose atoms    -model NAME         list the search atoms
+//	prose tune     -model NAME [...]   run the delta-debugging search
+//	prose variant  -model NAME [...]   generate and print one variant
+//	prose reduce   -model NAME -targets a,b  taint-based program reduction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/blame"
+	"repro/internal/core"
+	ft "repro/internal/fortran"
+	"repro/internal/models"
+	"repro/internal/search"
+	"repro/internal/transform"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "models":
+		err = cmdModels()
+	case "baseline":
+		err = cmdBaseline(os.Args[2:])
+	case "atoms":
+		err = cmdAtoms(os.Args[2:])
+	case "tune":
+		err = cmdTune(os.Args[2:])
+	case "variant":
+		err = cmdVariant(os.Args[2:])
+	case "reduce":
+		err = cmdReduce(os.Args[2:])
+	case "blame":
+		err = cmdBlame(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "prose: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prose:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: prose <command> [flags]
+
+commands:
+  models     list the bundled tuning targets
+  baseline   profile a model baseline (hotspot share, per-procedure times)
+  atoms      list a model's search atoms (tunable FP declarations)
+  tune       run the delta-debugging precision-tuning search
+  variant    apply a precision assignment and print the generated source
+  reduce     taint-based program reduction for target variables (paper III-C)
+  blame      one-at-a-time precision sensitivity ranking (ADAPT-style)
+
+run 'prose <command> -h' for flags.
+`)
+}
+
+func modelFlag(fs *flag.FlagSet) *string {
+	return fs.String("model", "funarc", "tuning target: funarc, mpas-a, adcirc, mom6")
+}
+
+func getModel(name string) (*models.Model, error) { return models.ByName(name) }
+
+func cmdModels() error {
+	for _, m := range models.All() {
+		fmt.Printf("%-8s  hotspot %-22s  %s\n", m.Name, m.Hotspot, m.Description)
+		fmt.Printf("          paper workload: %s\n", m.Paper)
+	}
+	return nil
+}
+
+func cmdBaseline(args []string) error {
+	fs := flag.NewFlagSet("baseline", flag.ExitOnError)
+	name := modelFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := getModel(*name)
+	if err != nil {
+		return err
+	}
+	t, err := core.New(m, core.Options{Seed: 1})
+	if err != nil {
+		return err
+	}
+	bl := t.BaselineInfo()
+	fmt.Printf("model %s: %d search atoms in %s\n", m.Name, bl.AtomCount, m.Hotspot)
+	fmt.Printf("baseline: %.0f simulated cycles, hotspot %.0f (%.1f%%)\n",
+		bl.TotalCycles, bl.HotspotCycles, 100*bl.HotspotShare)
+	fmt.Printf("correctness metric: %s (threshold %.3e)\n", m.MetricName, bl.Threshold)
+	fmt.Printf("%-52s %10s %14s %12s\n", "region", "calls", "self", "self/call")
+	for _, r := range bl.Regions {
+		fmt.Printf("%-52s %10d %14.0f %12.1f\n", r.Name, r.Calls, r.Self, r.PerCall())
+	}
+	return nil
+}
+
+func cmdAtoms(args []string) error {
+	fs := flag.NewFlagSet("atoms", flag.ExitOnError)
+	name := modelFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := getModel(*name)
+	if err != nil {
+		return err
+	}
+	prog, err := m.Parse()
+	if err != nil {
+		return err
+	}
+	atoms := transform.Atoms(prog, m.Hotspot)
+	for _, a := range atoms {
+		kind := fmt.Sprintf("real(kind=%d)", a.Decl.Kind)
+		shape := "scalar"
+		if a.Decl.IsArray() {
+			shape = fmt.Sprintf("rank-%d array", len(a.Decl.Dims))
+		}
+		fmt.Printf("%-60s %-14s %s\n", a.QName, kind, shape)
+	}
+	fmt.Printf("%d atoms\n", len(atoms))
+	return nil
+}
+
+func cmdTune(args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	name := modelFlag(fs)
+	whole := fs.Bool("whole-model", false, "guide the search by whole-model time (paper IV-C)")
+	seed := fs.Int64("seed", 1, "seed for the Eq. (1) runtime-noise model")
+	budget := fs.Int("budget", 0, "max distinct variant evaluations (0 = model default)")
+	verbose := fs.Bool("v", false, "print each variant as it is evaluated")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := getModel(*name)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{Seed: *seed, WholeModel: *whole, MaxEvaluations: *budget}
+	if *verbose {
+		opts.Progress = func(ev *search.Evaluation) {
+			fmt.Printf("  variant %5.1f%% 32-bit: %-7s speedup %6.3f  err %9.3e  %s\n",
+				ev.Pct32(), ev.Status, ev.Speedup, ev.RelError, ev.Detail)
+		}
+	}
+	t, err := core.New(m, opts)
+	if err != nil {
+		return err
+	}
+	res, err := t.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	return nil
+}
+
+func cmdVariant(args []string) error {
+	fs := flag.NewFlagSet("variant", flag.ExitOnError)
+	name := modelFlag(fs)
+	lower := fs.String("lower", "", "comma-separated atoms to lower to 32-bit, or 'all'")
+	keep := fs.String("keep", "", "comma-separated atoms kept at 64-bit (with -lower all)")
+	diff := fs.Bool("diff", false, "print only changed declarations instead of full source")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := getModel(*name)
+	if err != nil {
+		return err
+	}
+	prog, err := m.Parse()
+	if err != nil {
+		return err
+	}
+	atoms := transform.Atoms(prog, m.Hotspot)
+	var a transform.Assignment
+	if *lower == "all" {
+		a = transform.Uniform(atoms, 4)
+	} else {
+		a = transform.Assignment{}
+		for _, q := range splitList(*lower) {
+			a[q] = 4
+		}
+	}
+	for _, q := range splitList(*keep) {
+		a[q] = 8
+	}
+	v, err := transform.Apply(prog, a)
+	if err != nil {
+		return err
+	}
+	if *diff {
+		printDeclDiff(prog, v.Prog)
+	} else {
+		fmt.Print(ft.Print(v.Prog))
+	}
+	fmt.Fprintf(os.Stderr, "(%d wrapper(s) inserted)\n", v.Wrappers)
+	return nil
+}
+
+// printDeclDiff prints declaration changes in the paper's Fig. 3 style.
+func printDeclDiff(base, variant *ft.Program) {
+	baseKinds := map[string]int{}
+	for _, d := range ft.RealDecls(base) {
+		baseKinds[d.QName()] = d.Kind
+	}
+	var lines []string
+	for _, d := range ft.RealDecls(variant) {
+		if old, ok := baseKinds[d.QName()]; ok && old != d.Kind {
+			lines = append(lines, fmt.Sprintf("- real(kind=%d) :: %s\n+ %s", old, d.QName(), ft.DeclString(d)))
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	for _, w := range transform.WrapperNames(variant) {
+		fmt.Printf("+ wrapper %s\n", w)
+	}
+}
+
+func cmdReduce(args []string) error {
+	fs := flag.NewFlagSet("reduce", flag.ExitOnError)
+	name := modelFlag(fs)
+	targets := fs.String("targets", "", "comma-separated target variable qualified names")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *targets == "" {
+		return fmt.Errorf("reduce: -targets is required")
+	}
+	m, err := getModel(*name)
+	if err != nil {
+		return err
+	}
+	prog, err := m.Parse()
+	if err != nil {
+		return err
+	}
+	red, stats, err := transform.Reduce(prog, splitList(*targets))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s\n", stats)
+	fmt.Print(ft.Print(red))
+	return nil
+}
+
+func cmdBlame(args []string) error {
+	fs := flag.NewFlagSet("blame", flag.ExitOnError)
+	name := modelFlag(fs)
+	seed := fs.Int64("seed", 1, "noise seed")
+	limit := fs.Int("top", 15, "show the top N atoms (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := getModel(*name)
+	if err != nil {
+		return err
+	}
+	rep, err := blame.Analyze(m, core.Options{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render(*limit))
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestSplitList(t *testing.T) {
+	cases := map[string][]string{
+		"":          nil,
+		"a":         {"a"},
+		"a,b":       {"a", "b"},
+		" a , ,b, ": {"a", "b"},
+	}
+	for in, want := range cases {
+		got := splitList(in)
+		if len(got) != len(want) {
+			t.Errorf("splitList(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("splitList(%q)[%d] = %q, want %q", in, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGetModelErrors(t *testing.T) {
+	if _, err := getModel("nope"); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if m, err := getModel("mpas-a"); err != nil || m.Name != "mpas-a" {
+		t.Errorf("getModel(mpas-a) = %v, %v", m, err)
+	}
+}
+
+func TestCommandErrorPaths(t *testing.T) {
+	if err := cmdReduce([]string{"-model", "funarc"}); err == nil {
+		t.Error("reduce without -targets accepted")
+	}
+	if err := cmdReduce([]string{"-model", "funarc", "-targets", "ghost.var"}); err == nil {
+		t.Error("reduce with unknown target accepted")
+	}
+	if err := cmdAtoms([]string{"-model", "nope"}); err == nil {
+		t.Error("atoms with unknown model accepted")
+	}
+	if err := cmdVariant([]string{"-model", "funarc", "-lower", "no.such.atom"}); err == nil {
+		t.Error("variant with unknown atom accepted")
+	}
+}
+
+func TestCommandHappyPaths(t *testing.T) {
+	if err := cmdModels(); err != nil {
+		t.Errorf("models: %v", err)
+	}
+	if err := cmdAtoms([]string{"-model", "funarc"}); err != nil {
+		t.Errorf("atoms: %v", err)
+	}
+	if err := cmdVariant([]string{"-model", "funarc", "-lower", "all",
+		"-keep", "funarc_mod.funarc.s1", "-diff"}); err != nil {
+		t.Errorf("variant: %v", err)
+	}
+	if err := cmdReduce([]string{"-model", "funarc", "-targets", "funarc_mod.fun.d1"}); err != nil {
+		t.Errorf("reduce: %v", err)
+	}
+}

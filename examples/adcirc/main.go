@@ -1,0 +1,69 @@
+// ADCIRC hotspot tuning: the "single critical parameter" result.
+//
+// The itpackv conjugate-gradient solver assembles its system by
+// subtracting a large hydrostatic background (h0ref). The search
+// discovers that keeping only that one parameter in 64-bit satisfies the
+// domain expert's error threshold — but the solver's hot loops (an
+// MPI_ALLREDUCE reduction and a recurrence sweep) cannot vectorize, so
+// the payoff is a modest ~1.1-1.2x, exactly the paper's ADCIRC story.
+//
+//	go run ./examples/adcirc
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+func main() {
+	tuner, err := core.New(models.ADCIRC(), core.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := tuner.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(result.Render())
+
+	fmt.Println("\nwhy the ceiling is low (criterion 1 of the paper's §V):")
+	for _, proc := range result.ProcNames() {
+		pts := result.SortedProcVariants(proc)
+		if len(pts) == 0 {
+			continue
+		}
+		best := pts[0].Speedup
+		for _, p := range pts {
+			if p.Speedup > best {
+				best = p.Speedup
+			}
+		}
+		reason := ""
+		switch {
+		case strings.HasSuffix(proc, "peror"):
+			reason = "dominated by MPI_ALLREDUCE - vendor reductions do not vectorize"
+		case strings.HasSuffix(proc, "pjac"):
+			reason = "SSOR recurrence carries a loop dependence - never vectorizes"
+		case strings.HasSuffix(proc, "jcg"):
+			reason = "driver; 32-bit h0ref quantizes the system -> fast but wrong (bimodal)"
+		case strings.HasSuffix(proc, "pmult"):
+			reason = "tridiagonal matvec - the only genuinely vectorizable kernel"
+		}
+		fmt.Printf("  %-18s best per-call speedup %6.3fx   %s\n", shortName(proc), best, reason)
+	}
+
+	fmt.Println("\n1-minimal 64-bit set:", result.Outcome.Minimal)
+	fmt.Println("(the paper: \"the search ultimately identified a single parameter", "")
+	fmt.Println(" that must remain in 64-bit to satisfy the error threshold\")")
+}
+
+func shortName(q string) string {
+	if i := strings.LastIndex(q, "."); i >= 0 {
+		return q[i+1:]
+	}
+	return q
+}

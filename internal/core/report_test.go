@@ -1,0 +1,158 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/search"
+	"repro/internal/transform"
+)
+
+// fakeResult builds a Result with a synthetic log for renderer tests.
+func fakeResult(t *testing.T) *Result {
+	t.Helper()
+	log := search.NewLog()
+	add := func(status search.Status, speedup, relerr float64, lowered int, name string) {
+		log.Add(&search.Evaluation{
+			Assignment: transform.Assignment{name: 4},
+			Status:     status, Speedup: speedup, RelError: relerr,
+			Lowered: lowered, TotalAtoms: 10,
+		})
+	}
+	add(search.StatusPass, 1.9, 1e-3, 9, "a")
+	add(search.StatusPass, 1.2, 1e-5, 5, "b")
+	add(search.StatusFail, 2.1, 5.0, 10, "c")
+	add(search.StatusError, 0, 0, 10, "d")
+	add(search.StatusTimeout, 0, 0, 10, "e")
+	return &Result{
+		Model:    models.Funarc(),
+		Baseline: &Baseline{TotalCycles: 1e6, HotspotCycles: 1.5e5, HotspotShare: 0.15, AtomCount: 10, Threshold: 1e-2},
+		Outcome: &search.Outcome{
+			Minimal:   []string{"m.p.keep"},
+			Log:       log,
+			Converged: false,
+		},
+		Criteria:     search.Criteria{MaxRelError: 1e-2, MinSpeedup: 1},
+		ProcVariants: map[string][]ProcPoint{"m.p": {{Key: "", Speedup: 1, FromIndex: 2}, {Key: "x", Speedup: 0.5, FromIndex: 1}}},
+	}
+}
+
+func TestTableIIRowCounts(t *testing.T) {
+	row := fakeResult(t).TableIIRow()
+	if row.Total != 5 {
+		t.Fatalf("total %d", row.Total)
+	}
+	if row.PassPct != 40 || row.FailPct != 20 || row.TimeoutPct != 20 || row.ErrorPct != 20 {
+		t.Errorf("percentages: %+v", row)
+	}
+	if row.BestSpeedup != 1.9 {
+		t.Errorf("best speedup %.2f (the 2.1x variant fails correctness)", row.BestSpeedup)
+	}
+	if row.Converged {
+		t.Error("converged flag lost")
+	}
+}
+
+func TestRenderMentionsEverything(t *testing.T) {
+	out := fakeResult(t).Render()
+	for _, want := range []string{
+		"funarc", "search atoms: 10", "hotspot share 15.0%",
+		"variants explored: 5", "did NOT converge",
+		"best passing variant: 1.90x", "m.p.keep",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderNoPassingVariant(t *testing.T) {
+	r := fakeResult(t)
+	r.Criteria.MaxRelError = 1e-9 // nothing passes
+	if !strings.Contains(r.Render(), "no passing variant") {
+		t.Error("missing no-passing message")
+	}
+}
+
+func TestSortedProcVariants(t *testing.T) {
+	r := fakeResult(t)
+	pts := r.SortedProcVariants("m.p")
+	if len(pts) != 2 || pts[0].FromIndex != 1 || pts[1].FromIndex != 2 {
+		t.Errorf("not sorted by discovery: %+v", pts)
+	}
+	if len(r.SortedProcVariants("nope")) != 0 {
+		t.Error("unknown proc returned points")
+	}
+	names := r.ProcNames()
+	if len(names) != 1 || names[0] != "m.p" {
+		t.Errorf("ProcNames: %v", names)
+	}
+}
+
+func TestWrappedCallee(t *testing.T) {
+	cases := map[string]struct {
+		callee string
+		ok     bool
+	}{
+		"mod.flux4_wrapper_88x":        {"mod.flux4", true},
+		"mod.f_wrapper_4_wrapper_8":    {"mod.f_wrapper_4", true},
+		"mod.plain":                    {"", false},
+		"atm.srk3_wrapper_4444444444x": {"atm.srk3", true},
+	}
+	for in, want := range cases {
+		got, ok := wrappedCallee(in)
+		if ok != want.ok || got != want.callee {
+			t.Errorf("wrappedCallee(%q) = %q, %v; want %q, %v", in, got, ok, want.callee, want.ok)
+		}
+	}
+}
+
+func TestEntryProcs(t *testing.T) {
+	m := models.MPASA()
+	prog, err := m.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := entryProcs(prog, m.Hotspot)
+	if !entries["atm_time_integration.atm_srk3"] {
+		t.Errorf("srk3 (called from main) not an entry proc: %v", entries)
+	}
+	if entries["atm_time_integration.flux4"] {
+		t.Error("flux4 (internal) marked as entry proc")
+	}
+	if entries["atm_time_integration.atm_compute_dyn_tend_work"] {
+		t.Error("dyn_tend (internal) marked as entry proc")
+	}
+}
+
+// TestWholeModelOptionChangesMetric: the same variant gets a different
+// speedup under hotspot vs whole-model guidance (the §IV-C contrast).
+func TestWholeModelOptionChangesMetric(t *testing.T) {
+	m := models.MPASA()
+	mk := func(whole bool) float64 {
+		tn, err := New(m, Options{Seed: 1, WholeModel: whole})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := transform.Uniform(tn.Atoms(), 4)
+		a["atm_time_integration.atm_compute_dyn_tend_work.p0work"] = 8
+		ev := tn.Evaluate(a)
+		if ev.Status != search.StatusPass && ev.Status != search.StatusFail {
+			t.Fatalf("variant did not run: %v %s", ev.Status, ev.Detail)
+		}
+		return ev.Speedup
+	}
+	hot := mk(false)
+	whole := mk(true)
+	t.Logf("knob variant: hotspot-guided %.3fx, whole-model-guided %.3fx", hot, whole)
+	if hot < 1.6 {
+		t.Errorf("hotspot speedup %.2f, want ~1.9x", hot)
+	}
+	if whole > 1.25 {
+		t.Errorf("whole-model speedup %.2f, want ~1x (boundary casting strips the gain)", whole)
+	}
+	if whole >= hot {
+		t.Error("whole-model metric should be below the hotspot metric")
+	}
+}

@@ -1,0 +1,504 @@
+// Package core is the public face of the PROSE-Go precision tuner: it
+// wires the paper's tuning cycle together (Fig. 1 / artifact tasks
+// T0-T4) for a given model:
+//
+//	T0  parse the model, enumerate search atoms, profile the baseline;
+//	T1  the delta-debugging search proposes precision assignments;
+//	T2  the transformer generates each mixed-precision variant
+//	    (kind rewriting + wrapper insertion);
+//	T3  the interpreter + machine model evaluate the variant's
+//	    performance (simulated cycles, GPTL regions) and correctness
+//	    (§IV-A metrics vs. the baseline);
+//	T4  outcomes feed back into the search until a 1-minimal variant
+//	    is found or the budget expires.
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+
+	ft "repro/internal/fortran"
+	"repro/internal/gptl"
+	"repro/internal/interp"
+	"repro/internal/models"
+	"repro/internal/perfmodel"
+	"repro/internal/search"
+	"repro/internal/transform"
+)
+
+// Options configures a tuning run.
+type Options struct {
+	// WholeModel guides the search by whole-model time instead of
+	// hotspot CPU time (the §IV-C / Fig. 7 experiment).
+	WholeModel bool
+	// MaxEvaluations overrides the model's evaluation budget (0 keeps
+	// the model default; negative means unlimited).
+	MaxEvaluations int
+	// MinSpeedup is the performance criterion (default 1.0: variants
+	// slower than the baseline are rejected, as in the paper).
+	MinSpeedup float64
+	// Seed drives the Eq. (1) runtime-noise model. Each variant's noise
+	// stream is derived from Seed and the variant's canonical key, so
+	// results are independent of evaluation order and parallelism.
+	Seed int64
+	// Parallelism bounds concurrent variant evaluations (default 1).
+	Parallelism int
+	// Machine overrides the default machine model.
+	Machine *perfmodel.Model
+	// Progress, if non-nil, receives one call per distinct variant.
+	Progress func(ev *search.Evaluation)
+}
+
+// Baseline summarizes the instrumented baseline run (Table I data).
+type Baseline struct {
+	TotalCycles   float64
+	HotspotCycles float64
+	HotspotShare  float64 // fraction of CPU time in the hotspot
+	AtomCount     int
+	Threshold     float64
+	Regions       []*gptl.Region
+}
+
+// ProcPoint is one unique per-procedure variant measurement (Fig. 6):
+// the average CPU time per call of a hotspot procedure under a unique
+// precision assignment of that procedure's own variables.
+type ProcPoint struct {
+	Key        string  // canonical sub-assignment (lowered atoms of the proc)
+	Lowered    int     // this procedure's atoms at 32-bit
+	PerCall    float64 // cycles per call (self + its wrappers)
+	Speedup    float64 // baseline per-call / variant per-call
+	FromIndex  int     // evaluation that first produced this point
+	CallsSeen  int64
+	FailStatus search.Status // status of the producing variant
+}
+
+// Result is a completed tuning run.
+type Result struct {
+	Model    *models.Model
+	Options  Options
+	Baseline *Baseline
+	Outcome  *search.Outcome
+	// ProcVariants maps hotspot procedure qualified names to their
+	// unique per-procedure variants (Fig. 6 series).
+	ProcVariants map[string][]ProcPoint
+	// Criteria used by the search.
+	Criteria search.Criteria
+}
+
+// Tuner runs the full tuning cycle for one model.
+type Tuner struct {
+	model   *models.Model
+	machine *perfmodel.Model
+	opts    Options
+
+	prog          *ft.Program
+	atoms         []transform.Atom
+	hotspotProcs  map[string]bool
+	entryProcs    map[string]bool // hotspot procs called from outside
+	baseOut       []float64
+	baseline      *Baseline
+	baseProcPC    map[string]float64 // baseline per-call by proc
+	baseProcCalls map[string]int64
+	baseTimeEq1   float64 // Eq. (1) numerator (median of n noisy samples)
+
+	log        *search.Log
+	mu         sync.Mutex // guards procPoints, evalSeq, Progress calls
+	evalSeq    int
+	procPoints map[string]map[string]*ProcPoint
+	procAtoms  map[string][]string // proc -> its atom qnames
+}
+
+// New prepares a tuner: parses the model, enumerates atoms, runs and
+// profiles the baseline, and determines the error threshold.
+func New(m *models.Model, opts Options) (*Tuner, error) {
+	if opts.Machine == nil {
+		opts.Machine = perfmodel.Default()
+	}
+	if opts.MinSpeedup == 0 {
+		opts.MinSpeedup = 1.0
+	}
+	t := &Tuner{
+		model:      m,
+		machine:    opts.Machine,
+		opts:       opts,
+		procPoints: make(map[string]map[string]*ProcPoint),
+	}
+	prog, err := m.Parse()
+	if err != nil {
+		return nil, err
+	}
+	t.prog = prog
+	t.atoms = transform.Atoms(prog, m.Hotspot)
+	if len(t.atoms) == 0 {
+		return nil, fmt.Errorf("core: model %s has no tunable atoms in module %q", m.Name, m.Hotspot)
+	}
+
+	t.hotspotProcs = make(map[string]bool)
+	for _, q := range m.HotspotProcs(prog) {
+		t.hotspotProcs[q] = true
+	}
+	t.entryProcs = entryProcs(prog, m.Hotspot)
+
+	// Atom list per procedure, for the Fig. 6 sub-assignment keys.
+	t.procAtoms = make(map[string][]string)
+	for _, a := range t.atoms {
+		var owner string
+		if a.Decl.Proc != nil {
+			owner = a.Decl.Proc.QName()
+		} else {
+			// Module-level variables influence every procedure that
+			// could touch them; attribute them to the module pseudo-proc.
+			owner = m.Hotspot + ".<module>"
+		}
+		t.procAtoms[owner] = append(t.procAtoms[owner], a.QName)
+	}
+
+	if err := t.runBaseline(); err != nil {
+		return nil, err
+	}
+	t.baseTimeEq1 = t.noiseFor("baseline").MedianOfN(
+		t.measuredTime(t.baseline.HotspotCycles, t.baseline.TotalCycles), m.NRuns)
+	return t, nil
+}
+
+// noiseFor derives a deterministic runtime-noise stream for one variant
+// from the tuner seed and the variant's canonical key, making measured
+// speedups independent of evaluation order and parallelism.
+func (t *Tuner) noiseFor(key string) *perfmodel.Noise {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return perfmodel.NewNoise(t.model.NoiseRel, t.opts.Seed^int64(h.Sum64()))
+}
+
+// Atoms returns the search atoms (hotspot real declarations).
+func (t *Tuner) Atoms() []transform.Atom { return t.atoms }
+
+// BaselineInfo returns the baseline profile.
+func (t *Tuner) BaselineInfo() *Baseline { return t.baseline }
+
+// Program returns the analyzed baseline program.
+func (t *Tuner) Program() *ft.Program { return t.prog }
+
+// entryProcs finds hotspot procedures invoked from outside the hotspot
+// module in the baseline: wrappers of these procs marshal data across
+// the hotspot boundary, and their cost is excluded from hotspot CPU time
+// (the paper's GPTL timers sit inside the original routines).
+func entryProcs(prog *ft.Program, hotspot string) map[string]bool {
+	out := make(map[string]bool)
+	info := ft.MustAnalyze(prog, ft.Options{})
+	for _, cs := range info.CallSites {
+		if cs.Callee.Module == nil || cs.Callee.Module.Name != hotspot {
+			continue
+		}
+		callerMod := ""
+		if cs.Caller != nil && cs.Caller.Module != nil {
+			callerMod = cs.Caller.Module.Name
+		}
+		if callerMod != hotspot {
+			out[cs.Callee.QName()] = true
+		}
+	}
+	return out
+}
+
+func (t *Tuner) runBaseline() error {
+	in, err := interp.New(t.prog, interp.Config{
+		Model:         t.machine,
+		TrapNonFinite: true,
+		Profile:       true,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := in.Run()
+	if err != nil {
+		return fmt.Errorf("core: %s baseline run failed: %w", t.model.Name, err)
+	}
+	out, err := t.model.Extract(in)
+	if err != nil {
+		return err
+	}
+	t.baseOut = out
+
+	hotspot := t.hotspotTime(res)
+	t.baseline = &Baseline{
+		TotalCycles:   res.Cycles,
+		HotspotCycles: hotspot,
+		HotspotShare:  hotspot / res.Cycles,
+		AtomCount:     len(t.atoms),
+		Regions:       res.Timers.Regions(),
+	}
+	t.baseProcPC = make(map[string]float64)
+	t.baseProcCalls = make(map[string]int64)
+	for q := range t.hotspotProcs {
+		if r := res.Timers.Region(q); r != nil {
+			t.baseProcPC[q] = r.PerCall()
+			t.baseProcCalls[q] = r.Calls
+		}
+	}
+
+	// Threshold (§IV-A).
+	switch t.model.ThresholdMode {
+	case models.ThresholdUniform32:
+		th, err := t.uniform32Error()
+		if err != nil {
+			return err
+		}
+		f := t.model.ThresholdFactor
+		if f == 0 {
+			f = 1
+		}
+		t.baseline.Threshold = th * f
+	default:
+		t.baseline.Threshold = t.model.Threshold
+	}
+	return nil
+}
+
+// uniform32Error measures the correctness metric of the whole-program
+// uniform 32-bit build (the supported single-precision configuration).
+func (t *Tuner) uniform32Error() (float64, error) {
+	all := transform.Atoms(t.prog)
+	v, err := transform.Apply(t.prog, transform.Uniform(all, 4))
+	if err != nil {
+		return 0, fmt.Errorf("core: uniform-32 build: %w", err)
+	}
+	in, err := interp.New(v.Prog, interp.Config{Model: t.machine, TrapNonFinite: true})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := in.Run(); err != nil {
+		return 0, fmt.Errorf("core: uniform-32 run: %w", err)
+	}
+	out, err := t.model.Extract(in)
+	if err != nil {
+		return 0, err
+	}
+	return t.model.Compare(t.baseOut, out)
+}
+
+// hotspotTime computes the hotspot CPU time of a run: self time of the
+// hotspot module's baseline procedures plus the wrappers of *internal*
+// hotspot procedures. Boundary wrappers (around entry procedures) run in
+// the caller and are excluded — the blindness that §IV-C exposes.
+func (t *Tuner) hotspotTime(res *interp.Result) float64 {
+	var sum float64
+	for _, r := range res.Timers.Regions() {
+		name := r.Name
+		if t.hotspotProcs[name] {
+			sum += r.Self
+			continue
+		}
+		if callee, ok := wrappedCallee(name); ok && t.hotspotProcs[callee] && !t.entryProcs[callee] {
+			sum += r.Self
+		}
+	}
+	return sum
+}
+
+// wrappedCallee maps "mod.proc_wrapper_sig" to "mod.proc".
+func wrappedCallee(qname string) (string, bool) {
+	i := strings.LastIndex(qname, "_wrapper_")
+	if i < 0 {
+		return "", false
+	}
+	return qname[:i], true
+}
+
+// measuredTime selects the guiding time metric.
+func (t *Tuner) measuredTime(hotspot, total float64) float64 {
+	if t.opts.WholeModel {
+		return total
+	}
+	return hotspot
+}
+
+// Evaluate implements search.Evaluator: it generates, "compiles"
+// (analyzes), runs, and scores one variant.
+func (t *Tuner) Evaluate(a transform.Assignment) *search.Evaluation {
+	ev := &search.Evaluation{
+		Assignment: a,
+		Lowered:    a.Lowered(),
+		TotalAtoms: len(t.atoms),
+	}
+	v, err := transform.Apply(t.prog, a)
+	if err != nil {
+		// The paper's uncompilable variants (ROSE unparsing failures)
+		// land here: a variant the toolchain cannot build is an error
+		// outcome.
+		ev.Status = search.StatusError
+		ev.Detail = "transform: " + err.Error()
+		t.notify(ev)
+		return ev
+	}
+
+	in, err := interp.New(v.Prog, interp.Config{
+		Model:         t.machine,
+		TrapNonFinite: true,
+		Profile:       true,
+		CycleBudget:   3 * t.baseline.TotalCycles, // §IV-A: 3x baseline timeout
+	})
+	if err != nil {
+		ev.Status = search.StatusError
+		ev.Detail = err.Error()
+		t.notify(ev)
+		return ev
+	}
+	res, runErr := in.Run()
+	if runErr != nil {
+		if re, ok := runErr.(*interp.RunError); ok && re.Kind == interp.FailTimeout {
+			ev.Status = search.StatusTimeout
+		} else {
+			ev.Status = search.StatusError
+		}
+		ev.Detail = runErr.Error()
+		t.recordProcPoints(ev, res)
+		t.notify(ev)
+		return ev
+	}
+
+	out, err := t.model.Extract(in)
+	if err == nil {
+		ev.RelError, err = t.model.Compare(t.baseOut, out)
+	}
+	if err != nil {
+		ev.Status = search.StatusError
+		ev.Detail = err.Error()
+		t.recordProcPoints(ev, res)
+		t.notify(ev)
+		return ev
+	}
+
+	varTime := t.noiseFor(a.Key()).MedianOfN(t.measuredTime(t.hotspotTime(res), res.Cycles), t.model.NRuns)
+	ev.Speedup = t.baseTimeEq1 / varTime
+	if ev.RelError <= t.baseline.Threshold {
+		ev.Status = search.StatusPass
+	} else {
+		ev.Status = search.StatusFail
+	}
+	ev.Detail = fmt.Sprintf("wrappers=%d casts=%d", v.Wrappers, res.Casts)
+	t.recordProcPoints(ev, res)
+	t.notify(ev)
+	return ev
+}
+
+func (t *Tuner) notify(ev *search.Evaluation) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.opts.Progress != nil {
+		t.opts.Progress(ev)
+	}
+}
+
+// recordProcPoints collects Fig. 6 data: for each hotspot procedure,
+// the per-call CPU time under this variant's sub-assignment of that
+// procedure's own variables (first observation of each unique
+// sub-assignment is kept, matching the paper's "unique procedure
+// variants").
+func (t *Tuner) recordProcPoints(ev *search.Evaluation, res *interp.Result) {
+	if res == nil || res.Timers == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evalSeq++
+	// Per-proc wrapper self time.
+	wrapSelf := make(map[string]float64)
+	for _, r := range res.Timers.Regions() {
+		if callee, ok := wrappedCallee(r.Name); ok {
+			wrapSelf[callee] += r.Self
+		}
+	}
+	for q := range t.hotspotProcs {
+		r := res.Timers.Region(q)
+		if r == nil || r.Calls == 0 {
+			continue
+		}
+		// Partial runs (errors, timeouts) bias per-call averages when a
+		// procedure was cut off mid-schedule; only keep measurements
+		// from procedures that ran (most of) their baseline schedule.
+		if ev.Status == search.StatusError || ev.Status == search.StatusTimeout {
+			if base := t.baseProcCalls[q]; base > 0 && r.Calls*5 < base*4 {
+				continue
+			}
+		}
+		key, lowered := t.subKey(q, ev.Assignment)
+		pts := t.procPoints[q]
+		if pts == nil {
+			pts = make(map[string]*ProcPoint)
+			t.procPoints[q] = pts
+		}
+		if _, seen := pts[key]; seen {
+			continue
+		}
+		perCall := (r.Self + wrapSelf[q]) / float64(r.Calls)
+		pt := &ProcPoint{
+			Key:        key,
+			Lowered:    lowered,
+			PerCall:    perCall,
+			FromIndex:  t.evalSeq,
+			CallsSeen:  r.Calls,
+			FailStatus: ev.Status,
+		}
+		if base := t.baseProcPC[q]; base > 0 && perCall > 0 {
+			pt.Speedup = base / perCall
+		}
+		pts[key] = pt
+	}
+}
+
+// subKey canonicalizes the assignment restricted to one procedure's
+// atoms (module-level atoms are included in every procedure's key since
+// they affect all of them).
+func (t *Tuner) subKey(proc string, a transform.Assignment) (string, int) {
+	var parts []string
+	lowered := 0
+	add := func(qnames []string) {
+		for _, q := range qnames {
+			if a.KindOf(q, 8) == 4 {
+				parts = append(parts, q)
+				lowered++
+			}
+		}
+	}
+	add(t.procAtoms[proc])
+	add(t.procAtoms[t.model.Hotspot+".<module>"])
+	return strings.Join(parts, ";"), lowered
+}
+
+// Run performs the full search and assembles the result.
+func (t *Tuner) Run() (*Result, error) {
+	criteria := search.Criteria{
+		MaxRelError: t.baseline.Threshold,
+		MinSpeedup:  t.opts.MinSpeedup,
+	}
+	budget := t.model.BudgetEvals
+	if t.opts.MaxEvaluations > 0 {
+		budget = t.opts.MaxEvaluations
+	} else if t.opts.MaxEvaluations < 0 {
+		budget = 0
+	}
+	outcome := search.Precimonious(t, t.atoms, search.Options{
+		Criteria:       criteria,
+		MaxEvaluations: budget,
+		Parallelism:    t.opts.Parallelism,
+	})
+	t.log = outcome.Log
+
+	result := &Result{
+		Model:        t.model,
+		Options:      t.opts,
+		Baseline:     t.baseline,
+		Outcome:      outcome,
+		Criteria:     criteria,
+		ProcVariants: make(map[string][]ProcPoint),
+	}
+	for q, pts := range t.procPoints {
+		for _, p := range pts {
+			result.ProcVariants[q] = append(result.ProcVariants[q], *p)
+		}
+	}
+	return result, nil
+}

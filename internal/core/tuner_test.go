@@ -1,0 +1,92 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/search"
+)
+
+func TestFunarcTune(t *testing.T) {
+	tn, err := New(models.Funarc(), Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := len(tn.Atoms()); got != 8 {
+		t.Fatalf("funarc atoms = %d, want 8", got)
+	}
+	res, err := tn.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.TableIIRow()
+	t.Logf("funarc: %d variants, best %.3fx, minimal=%v", row.Total, row.BestSpeedup, res.Outcome.Minimal)
+	if !res.Outcome.Converged {
+		t.Error("funarc search did not converge")
+	}
+	best := res.Best()
+	if best == nil {
+		t.Fatal("no passing funarc variant")
+	}
+	if best.Speedup < 1.1 || best.Speedup > 2.0 {
+		t.Errorf("funarc best speedup %.3f out of the expected ~1.3-1.5x band", best.Speedup)
+	}
+	if best.RelError > 5e-7 {
+		t.Errorf("best variant error %.3e above threshold", best.RelError)
+	}
+}
+
+func TestMPASTuneSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full MPAS-A search is slow")
+	}
+	tn, err := New(models.MPASA(), Options{Seed: 7})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	bl := tn.BaselineInfo()
+	if bl.HotspotShare < 0.08 || bl.HotspotShare > 0.25 {
+		t.Errorf("hotspot share %.2f out of band", bl.HotspotShare)
+	}
+	res, err := tn.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.TableIIRow()
+	t.Logf("\n%s", res.Render())
+	t.Logf("table row: %+v", row)
+
+	best := res.Best()
+	if best == nil {
+		t.Fatal("no passing MPAS-A variant")
+	}
+	if best.Speedup < 1.7 {
+		t.Errorf("best MPAS-A hotspot speedup %.2f, want ~1.9x", best.Speedup)
+	}
+	// The 1-minimal set should be small and include the p0work knob.
+	found := false
+	for _, q := range res.Outcome.Minimal {
+		if strings.Contains(q, "p0work") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("minimal set %v does not include the p0work knob", res.Outcome.Minimal)
+	}
+	if row.Total < 10 {
+		t.Errorf("only %d variants explored; expected a real search", row.Total)
+	}
+	// Fig. 6 data must exist for the flux functions.
+	if len(res.ProcVariants["atm_time_integration.flux4"]) == 0 {
+		t.Error("no per-procedure variants recorded for flux4")
+	}
+	// Every evaluation classified.
+	for _, ev := range res.Outcome.Log.Evals {
+		switch ev.Status {
+		case search.StatusPass, search.StatusFail, search.StatusTimeout, search.StatusError:
+		default:
+			t.Errorf("unclassified evaluation: %+v", ev)
+		}
+	}
+}

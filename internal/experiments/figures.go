@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/search"
+	"repro/internal/transform"
+)
+
+// Fig2 sweeps all 2^8 = 256 funarc variants by brute force (§II-B) and
+// returns the speedup-error scatter plus the optimal frontier.
+type Fig2Result struct {
+	Points   []Point
+	Frontier []Point
+	// Uniform32 and Best describe the walkthrough's comparison: the
+	// frontier variant under the error budget vs. the uniform 32-bit
+	// variant.
+	Uniform32 Point
+	Best      Point
+	Threshold float64
+}
+
+// Fig2 runs the brute-force funarc sweep.
+func Fig2(seed int64) (*Fig2Result, error) {
+	m := models.Funarc()
+	t, err := core.New(m, core.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	atoms := t.Atoms()
+	log := search.BruteForce(t, atoms, suiteParallelism())
+	out := &Fig2Result{
+		Points:    pointsFromLog(log),
+		Threshold: t.BaselineInfo().Threshold,
+	}
+	for _, ev := range log.Frontier() {
+		out.Frontier = append(out.Frontier, Point{
+			Index: ev.Index, Pct32: ev.Pct32(), Speedup: ev.Speedup,
+			RelErr: ev.RelError, Status: ev.Status,
+		})
+	}
+	if u32, ok := log.Lookup(transform.Uniform(atoms, 4)); ok {
+		out.Uniform32 = Point{Index: u32.Index, Pct32: 100, Speedup: u32.Speedup, RelErr: u32.RelError, Status: u32.Status}
+	}
+	if best := log.Best(search.Criteria{MaxRelError: out.Threshold, MinSpeedup: 1}); best != nil {
+		out.Best = Point{Index: best.Index, Pct32: best.Pct32(), Speedup: best.Speedup, RelErr: best.RelError, Status: best.Status}
+	}
+	return out, nil
+}
+
+// RenderFig2 summarizes the sweep in the walkthrough's terms.
+func RenderFig2(r *Fig2Result) string {
+	var sb strings.Builder
+	sb.WriteString("FIGURE 2: funarc mixed-precision variants (brute force, 256 variants)\n")
+	worse := 0
+	for _, p := range r.Points {
+		if p.Status == search.StatusPass || p.Status == search.StatusFail {
+			if p.Speedup < 1 && p.RelErr > 0 {
+				worse++
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "  variants: %d, on frontier: %d, error budget %.1e\n",
+		len(r.Points), len(r.Frontier), r.Threshold)
+	fmt.Fprintf(&sb, "  worse on both axes than the 64-bit original: %d (%.0f%%; paper: ~67%%)\n",
+		worse, 100*float64(worse)/float64(len(r.Points)))
+	fmt.Fprintf(&sb, "  uniform 32-bit: %.2fx speedup, %.2e error\n", r.Uniform32.Speedup, r.Uniform32.RelErr)
+	fmt.Fprintf(&sb, "  frontier pick : %.2fx speedup, %.2e error (%.1fx less error than uniform 32)\n",
+		r.Best.Speedup, r.Best.RelErr, r.Uniform32.RelErr/nonZero(r.Best.RelErr))
+	sb.WriteString("  frontier (error ascending):\n")
+	for _, p := range r.Frontier {
+		fmt.Fprintf(&sb, "    speedup %.3fx  err %.3e  (%2.0f%% 32-bit)\n", p.Speedup, p.RelErr, p.Pct32)
+	}
+	return sb.String()
+}
+
+func nonZero(v float64) float64 {
+	if v == 0 {
+		return 1e-300
+	}
+	return v
+}
+
+// Fig5Series is one model's speedup-error scatter from its search log
+// (Fig. 5), with the cluster summary used in the artifact checks.
+type Fig5Series struct {
+	Model     string
+	Points    []Point
+	Threshold float64
+	Clusters  ClusterSummary
+}
+
+// ClusterSummary buckets completed variants by their 32-bit percentage
+// and reports the median speedup per bucket (the three MPAS-A clusters,
+// the two Fig. 7 clusters, ...).
+type ClusterSummary struct {
+	Lo, Mid, Hi ClusterStat // <30%, 30-89%, >=90% 32-bit
+}
+
+// ClusterStat summarizes one bucket.
+type ClusterStat struct {
+	N             int
+	MedianSpeedup float64
+	MinSpeedup    float64
+	MaxSpeedup    float64
+}
+
+// Fig5 extracts the scatter for every hotspot-guided search.
+func Fig5(s *Suite) []Fig5Series {
+	var out []Fig5Series
+	for _, name := range []string{"mpas-a", "adcirc", "mom6"} {
+		res, ok := s.Hotspot[name]
+		if !ok {
+			continue
+		}
+		pts := pointsFromLog(res.Outcome.Log)
+		out = append(out, Fig5Series{
+			Model:     name,
+			Points:    pts,
+			Threshold: res.Baseline.Threshold,
+			Clusters:  clusterize(pts),
+		})
+	}
+	return out
+}
+
+func clusterize(pts []Point) ClusterSummary {
+	var lo, mid, hi []float64
+	for _, p := range pts {
+		if p.Status != search.StatusPass && p.Status != search.StatusFail {
+			continue
+		}
+		switch {
+		case p.Pct32 < 30:
+			lo = append(lo, p.Speedup)
+		case p.Pct32 < 90:
+			mid = append(mid, p.Speedup)
+		default:
+			hi = append(hi, p.Speedup)
+		}
+	}
+	return ClusterSummary{Lo: stat(lo), Mid: stat(mid), Hi: stat(hi)}
+}
+
+func stat(xs []float64) ClusterStat {
+	if len(xs) == 0 {
+		return ClusterStat{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return ClusterStat{
+		N:             len(sorted),
+		MedianSpeedup: sorted[len(sorted)/2],
+		MinSpeedup:    sorted[0],
+		MaxSpeedup:    sorted[len(sorted)-1],
+	}
+}
+
+// RenderFig5 formats the scatter summaries.
+func RenderFig5(series []Fig5Series) string {
+	var sb strings.Builder
+	sb.WriteString("FIGURE 5: mixed-precision hotspot variants on speedup-error axes\n")
+	for _, s := range series {
+		fmt.Fprintf(&sb, "  %s (threshold %.2e): %d variants\n", s.Model, s.Threshold, len(s.Points))
+		renderCluster(&sb, "<30%% 32-bit ", s.Clusters.Lo)
+		renderCluster(&sb, "30-89%% 32-bit", s.Clusters.Mid)
+		renderCluster(&sb, ">=90%% 32-bit", s.Clusters.Hi)
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, "    #%03d  %5.1f%%32  speedup %6.3f  err %9.3e  %s\n",
+				p.Index, p.Pct32, p.Speedup, p.RelErr, p.Status)
+		}
+	}
+	return sb.String()
+}
+
+func renderCluster(sb *strings.Builder, label string, c ClusterStat) {
+	if c.N == 0 {
+		return
+	}
+	fmt.Fprintf(sb, "    cluster "+label+": n=%d, speedup median %.2f (min %.2f, max %.2f)\n",
+		c.N, c.MedianSpeedup, c.MinSpeedup, c.MaxSpeedup)
+}
+
+// Fig6Series is one procedure's per-call performance points (Fig. 6).
+type Fig6Series struct {
+	Model     string
+	Proc      string
+	ShareePct float64 // the procedure's share of baseline hotspot time
+	Points    []core.ProcPoint
+}
+
+// Fig6 extracts per-procedure variant performance for each model's
+// hotspot procedures, sorted by baseline share within each model.
+func Fig6(s *Suite) []Fig6Series {
+	var out []Fig6Series
+	for _, name := range []string{"mpas-a", "adcirc", "mom6"} {
+		res, ok := s.Hotspot[name]
+		if !ok {
+			continue
+		}
+		// Baseline per-proc self time for shares.
+		self := map[string]float64{}
+		var hotTotal float64
+		for _, r := range res.Baseline.Regions {
+			self[r.Name] = r.Self
+		}
+		for _, q := range res.ProcNames() {
+			hotTotal += self[q]
+		}
+		for _, q := range res.ProcNames() {
+			pts := res.SortedProcVariants(q)
+			share := 0.0
+			if hotTotal > 0 {
+				share = 100 * self[q] / hotTotal
+			}
+			out = append(out, Fig6Series{Model: name, Proc: q, ShareePct: share, Points: pts})
+		}
+	}
+	return out
+}
+
+// RenderFig6 formats the per-procedure series.
+func RenderFig6(series []Fig6Series) string {
+	var sb strings.Builder
+	sb.WriteString("FIGURE 6: per-procedure performance of unique precision assignments\n")
+	sb.WriteString("  (speedup = baseline avg CPU/call divided by variant avg CPU/call)\n")
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		min, max := s.Points[0].Speedup, s.Points[0].Speedup
+		for _, p := range s.Points {
+			if p.Speedup < min {
+				min = p.Speedup
+			}
+			if p.Speedup > max {
+				max = p.Speedup
+			}
+		}
+		fmt.Fprintf(&sb, "  %-52s (%4.1f%% of hotspot) variants=%3d  speedup %6.3fx .. %6.3fx\n",
+			s.Model+"/"+s.Proc, s.ShareePct, len(s.Points), min, max)
+	}
+	return sb.String()
+}
+
+// Fig7Result is the §IV-C whole-model-guided MPAS-A search.
+type Fig7Result struct {
+	Points    []Point
+	Clusters  ClusterSummary
+	Best      *search.Evaluation
+	Threshold float64
+	Minimal   []string
+}
+
+// Fig7 extracts the whole-model scatter.
+func Fig7(s *Suite) *Fig7Result {
+	res := s.WholeModel
+	pts := pointsFromLog(res.Outcome.Log)
+	return &Fig7Result{
+		Points:    pts,
+		Clusters:  clusterize(pts),
+		Best:      res.Best(),
+		Threshold: res.Baseline.Threshold,
+		Minimal:   res.Outcome.Minimal,
+	}
+}
+
+// RenderFig7 formats the whole-model experiment.
+func RenderFig7(r *Fig7Result) string {
+	var sb strings.Builder
+	sb.WriteString("FIGURE 7: MPAS-A variants, search guided by WHOLE-MODEL time (§IV-C)\n")
+	fmt.Fprintf(&sb, "  %d variants explored\n", len(r.Points))
+	renderCluster(&sb, "<30%% 32-bit ", r.Clusters.Lo)
+	renderCluster(&sb, "30-89%% 32-bit", r.Clusters.Mid)
+	renderCluster(&sb, ">=90%% 32-bit", r.Clusters.Hi)
+	if r.Best != nil {
+		fmt.Fprintf(&sb, "  best passing variant: %.3fx whole-model speedup with %d/%d lowered (paper: no appreciable speedup)\n",
+			r.Best.Speedup, r.Best.Lowered, r.Best.TotalAtoms)
+	} else {
+		sb.WriteString("  no passing variant (whole-model criterion rejects hotspot gains)\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/search"
+	"repro/internal/viz"
+)
+
+// scatterFromPoints builds the speedup-error scatter used by Figures 2,
+// 5, and 7, bucketing points by status as the artifact's interactive
+// plots do. Failed-to-run variants (error/timeout) have no coordinates
+// and are listed in the caption counts only.
+func scatterFromPoints(title string, pts []Point, threshold float64) *viz.Scatter {
+	var pass, fail []viz.XY
+	skipped := 0
+	for _, p := range pts {
+		xy := viz.XY{
+			X: p.Speedup, Y: p.RelErr,
+			Label: fmt.Sprintf("#%d: %.1f%% 32-bit, %.3fx, err %.3e (%s)", p.Index, p.Pct32, p.Speedup, p.RelErr, p.Status),
+		}
+		switch p.Status {
+		case search.StatusPass:
+			pass = append(pass, xy)
+		case search.StatusFail:
+			fail = append(fail, xy)
+		default:
+			skipped++
+		}
+	}
+	return &viz.Scatter{
+		Title:  fmt.Sprintf("%s (%d error/timeout variants not plotted)", title, skipped),
+		XLabel: "speedup (Eq. 1)",
+		YLabel: "relative error",
+		YLog:   true,
+		Series: []viz.Series{
+			{Name: "pass", Color: "#059669", Points: pass},
+			{Name: "fail", Color: "#dc2626", Points: fail},
+		},
+		HLines: []float64{threshold},
+		VLines: []float64{1.0},
+	}
+}
+
+// HTMLFig2 renders the funarc sweep as a standalone HTML page.
+func HTMLFig2(r *Fig2Result) string {
+	sc := scatterFromPoints("Figure 2: funarc mixed-precision variants", r.Points, r.Threshold)
+	var frontier []viz.XY
+	for _, p := range r.Frontier {
+		frontier = append(frontier, viz.XY{X: p.Speedup, Y: p.RelErr,
+			Label: fmt.Sprintf("frontier: %.3fx, err %.3e", p.Speedup, p.RelErr)})
+	}
+	sc.Series = append(sc.Series, viz.Series{Name: "optimal frontier", Color: "#2563eb", Points: frontier})
+	return viz.Page("funarc (paper Fig. 2)", sc.SVG(), viz.Pre(RenderFig2(r)))
+}
+
+// HTMLFig5 renders the three hotspot searches as one page.
+func HTMLFig5(series []Fig5Series) string {
+	sections := make([]string, 0, len(series)+1)
+	for _, s := range series {
+		sc := scatterFromPoints("Figure 5: "+s.Model+" hotspot variants", s.Points, s.Threshold)
+		sections = append(sections, sc.SVG())
+	}
+	sections = append(sections, viz.Pre(RenderFig5(series)))
+	return viz.Page("hotspot variant scatter (paper Fig. 5)", sections...)
+}
+
+// HTMLFig6 renders per-procedure per-call speedups, one series per
+// procedure, on a log axis as in the paper.
+func HTMLFig6(series []Fig6Series) string {
+	var sections []string
+	cur := ""
+	var sc *viz.Scatter
+	flush := func() {
+		if sc != nil {
+			sections = append(sections, sc.SVG())
+		}
+	}
+	for _, s := range series {
+		if s.Model != cur {
+			flush()
+			cur = s.Model
+			sc = &viz.Scatter{
+				Title:  "Figure 6: " + s.Model + " per-procedure variants",
+				XLabel: "unique procedure variant (discovery order)",
+				YLabel: "per-call speedup (log)",
+				YLog:   true,
+				HLines: []float64{1.0},
+				Height: 420,
+			}
+		}
+		var xs []viz.XY
+		for i, p := range s.Points {
+			if p.Speedup <= 0 {
+				continue
+			}
+			xs = append(xs, viz.XY{X: float64(i + 1), Y: p.Speedup,
+				Label: fmt.Sprintf("%s: %.3fx (%d vars lowered, from variant #%d)", s.Proc, p.Speedup, p.Lowered, p.FromIndex)})
+		}
+		sc.Series = append(sc.Series, viz.Series{
+			Name:   fmt.Sprintf("%s (%.0f%%)", shortProc(s.Proc), s.ShareePct),
+			Points: xs,
+		})
+	}
+	flush()
+	sections = append(sections, viz.Pre(RenderFig6(series)))
+	return viz.Page("per-procedure performance (paper Fig. 6)", sections...)
+}
+
+func shortProc(q string) string {
+	for i := len(q) - 1; i >= 0; i-- {
+		if q[i] == '.' {
+			return q[i+1:]
+		}
+	}
+	return q
+}
+
+// HTMLFig7 renders the whole-model-guided search.
+func HTMLFig7(r *Fig7Result) string {
+	sc := scatterFromPoints("Figure 7: MPAS-A variants, whole-model-guided", r.Points, r.Threshold)
+	return viz.Page("whole-model tuning (paper Fig. 7)", sc.SVG(), viz.Pre(RenderFig7(r)))
+}

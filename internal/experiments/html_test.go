@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/search"
+)
+
+func syntheticPoints() []Point {
+	return []Point{
+		{Index: 1, Pct32: 10, Speedup: 0.9, RelErr: 1e-6, Status: search.StatusPass},
+		{Index: 2, Pct32: 95, Speedup: 1.9, RelErr: 1e-2, Status: search.StatusFail},
+		{Index: 3, Pct32: 50, Status: search.StatusError},
+	}
+}
+
+func TestHTMLFigures(t *testing.T) {
+	fig2 := &Fig2Result{
+		Points:    syntheticPoints(),
+		Frontier:  []Point{{Speedup: 1.5, RelErr: 1e-4, Status: search.StatusPass}},
+		Uniform32: Point{Speedup: 1.6, RelErr: 1e-3},
+		Best:      Point{Speedup: 1.5, RelErr: 1e-4},
+		Threshold: 1e-3,
+	}
+	page2 := HTMLFig2(fig2)
+	for _, want := range []string{"<!DOCTYPE html>", "<svg", "optimal frontier", "error/timeout"} {
+		if !strings.Contains(page2, want) {
+			t.Errorf("fig2 page missing %q", want)
+		}
+	}
+
+	series5 := []Fig5Series{{
+		Model: "mpas-a", Points: syntheticPoints(), Threshold: 1e-3,
+		Clusters: clusterize(syntheticPoints()),
+	}}
+	page5 := HTMLFig5(series5)
+	if !strings.Contains(page5, "mpas-a") || !strings.Contains(page5, "<svg") {
+		t.Error("fig5 page incomplete")
+	}
+
+	series6 := []Fig6Series{{
+		Model: "mpas-a", Proc: "atm_time_integration.flux4", ShareePct: 9.3,
+		Points: []core.ProcPoint{{Speedup: 0.13, FromIndex: 1}, {Speedup: 2.0, FromIndex: 2}},
+	}}
+	page6 := HTMLFig6(series6)
+	if !strings.Contains(page6, "flux4") || !strings.Contains(page6, "per-call speedup") {
+		t.Error("fig6 page incomplete")
+	}
+
+	page7 := HTMLFig7(&Fig7Result{Points: syntheticPoints(), Threshold: 1e-3,
+		Clusters: clusterize(syntheticPoints())})
+	if !strings.Contains(page7, "whole-model") {
+		t.Error("fig7 page incomplete")
+	}
+}
+
+func TestScatterBucketsByStatus(t *testing.T) {
+	sc := scatterFromPoints("t", syntheticPoints(), 1e-3)
+	if len(sc.Series) != 2 {
+		t.Fatalf("series: %d", len(sc.Series))
+	}
+	if len(sc.Series[0].Points) != 1 || len(sc.Series[1].Points) != 1 {
+		t.Errorf("bucketing wrong: %d pass, %d fail",
+			len(sc.Series[0].Points), len(sc.Series[1].Points))
+	}
+	if !strings.Contains(sc.Title, "1 error/timeout") {
+		t.Errorf("title %q", sc.Title)
+	}
+}
+
+func TestShortProc(t *testing.T) {
+	if shortProc("a.b.c") != "c" || shortProc("plain") != "plain" {
+		t.Error("shortProc misbehaves")
+	}
+}

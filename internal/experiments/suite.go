@@ -1,0 +1,106 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV) from this repository's substrates, plus two
+// extensions: the §V static-filter ablation and an Eq. (1)
+// noise-tolerance study. See DESIGN.md §3 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/search"
+)
+
+// Suite holds the search results shared by Table II and Figures 5-6
+// (one delta-debugging search per weather/climate model) plus the
+// Fig. 7 whole-model-guided MPAS-A search.
+type Suite struct {
+	Seed       int64
+	Hotspot    map[string]*core.Result // by model name (hotspot-guided)
+	WholeModel *core.Result            // MPAS-A, whole-model-guided
+}
+
+// RunSuite executes the four searches of the case study (the artifact's
+// four parallel experiment instances). Deterministic for a given seed.
+func RunSuite(seed int64) (*Suite, error) {
+	par := suiteParallelism()
+	s := &Suite{Seed: seed, Hotspot: make(map[string]*core.Result)}
+	for _, m := range models.WeatherClimate() {
+		res, err := runSearch(m, core.Options{Seed: seed, Parallelism: par})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", m.Name, err)
+		}
+		s.Hotspot[m.Name] = res
+	}
+	mp := models.MPASA()
+	whole, err := runSearch(mp, core.Options{Seed: seed, WholeModel: true, Parallelism: par})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: mpas-a whole-model: %w", err)
+	}
+	s.WholeModel = whole
+	return s, nil
+}
+
+// suiteParallelism bounds in-process variant evaluation concurrency:
+// enough workers to emulate the artifact's parallel nodes without
+// oversubscribing test machines.
+func suiteParallelism() int {
+	if n := runtime.NumCPU(); n < 8 {
+		return n
+	}
+	return 8
+}
+
+func runSearch(m *models.Model, opts core.Options) (*core.Result, error) {
+	t, err := core.New(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return t.Run()
+}
+
+var (
+	sharedOnce  sync.Once
+	sharedSuite *Suite
+	sharedErr   error
+)
+
+// Shared returns a lazily built, process-wide suite (seed 1), so tests
+// and benchmarks that need the same searches do not repeat them.
+func Shared() (*Suite, error) {
+	sharedOnce.Do(func() {
+		sharedSuite, sharedErr = RunSuite(1)
+	})
+	return sharedSuite, sharedErr
+}
+
+// Point is one variant in a speedup-error scatter (Figures 2, 5, 7).
+type Point struct {
+	Index   int
+	Pct32   float64
+	Speedup float64
+	RelErr  float64
+	Status  search.Status
+}
+
+// pointsFromLog converts an evaluation log into scatter points.
+// Variants that errored or timed out carry no speedup-error coordinates
+// and are reported with status only (as the paper's interactive plots
+// bucket them separately).
+func pointsFromLog(log *search.Log) []Point {
+	pts := make([]Point, 0, len(log.Evals))
+	for _, ev := range log.Evals {
+		pts = append(pts, Point{
+			Index:   ev.Index,
+			Pct32:   ev.Pct32(),
+			Speedup: ev.Speedup,
+			RelErr:  ev.RelError,
+			Status:  ev.Status,
+		})
+	}
+	return pts
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/transform"
+)
+
+// Table1Row is one row of Table I: summary statistics for targeted
+// hotspots, with the paper's reported values alongside ours.
+type Table1Row struct {
+	Model          string
+	TargetedModule string
+	CPUSharePct    float64
+	FPVars         int
+	PaperSharePct  float64
+	PaperFPVars    int
+}
+
+// Table1 profiles each weather/climate model baseline and reports the
+// hotspot statistics of Table I.
+func Table1() ([]Table1Row, error) {
+	paper := map[string]struct {
+		share float64
+		vars  int
+	}{
+		"mpas-a": {15, 445},
+		"adcirc": {12, 468},
+		"mom6":   {9, 351},
+	}
+	var rows []Table1Row
+	for _, m := range models.WeatherClimate() {
+		t, err := core.New(m, core.Options{Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		bl := t.BaselineInfo()
+		prog := t.Program()
+		rows = append(rows, Table1Row{
+			Model:          m.Name,
+			TargetedModule: m.Hotspot,
+			CPUSharePct:    100 * bl.HotspotShare,
+			FPVars:         len(transform.Atoms(prog, m.Hotspot)),
+			PaperSharePct:  paper[m.Name].share,
+			PaperFPVars:    paper[m.Name].vars,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 formats Table I.
+func RenderTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("TABLE I: Summary statistics for targeted hotspots\n")
+	fmt.Fprintf(&sb, "%-8s %-22s %12s %10s %14s %12s\n",
+		"Model", "Targeted Module", "% CPU Time", "# FP Vars", "paper % CPU", "paper #FP")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %-22s %11.1f%% %10d %13.0f%% %12d\n",
+			r.Model, r.TargetedModule, r.CPUSharePct, r.FPVars, r.PaperSharePct, r.PaperFPVars)
+	}
+	return sb.String()
+}
+
+// Table2Row mirrors the paper's Table II with the paper's values for
+// comparison.
+type Table2Row struct {
+	core.TableRow
+	PaperTotal   int
+	PaperPass    float64
+	PaperFail    float64
+	PaperTimeout float64
+	PaperError   float64
+	PaperSpeedup float64
+}
+
+// Table2 summarizes the suite's hotspot searches as Table II.
+func Table2(s *Suite) []Table2Row {
+	paper := map[string]Table2Row{
+		"mpas-a": {PaperTotal: 48, PaperPass: 37.5, PaperFail: 56.2, PaperTimeout: 6.3, PaperError: 0, PaperSpeedup: 1.95},
+		"adcirc": {PaperTotal: 74, PaperPass: 36.4, PaperFail: 33.8, PaperTimeout: 0, PaperError: 29.7, PaperSpeedup: 1.12},
+		"mom6":   {PaperTotal: 858, PaperPass: 17.2, PaperFail: 31.0, PaperTimeout: 0, PaperError: 51.7, PaperSpeedup: 1.04},
+	}
+	var rows []Table2Row
+	for _, name := range []string{"mpas-a", "adcirc", "mom6"} {
+		res, ok := s.Hotspot[name]
+		if !ok {
+			continue
+		}
+		row := paper[name]
+		row.TableRow = res.TableIIRow()
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable2 formats Table II, ours against the paper's.
+func RenderTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("TABLE II: Summary metrics for variants explored (ours | paper)\n")
+	fmt.Fprintf(&sb, "%-8s %14s %15s %15s %15s %15s %16s\n",
+		"Model", "Total", "Pass", "Fail", "Timeout", "Error", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %6d | %5d %6.1f%% | %5.1f%% %6.1f%% | %5.1f%% %6.1f%% | %5.1f%% %6.1f%% | %5.1f%% %6.2fx | %5.2fx\n",
+			r.Model, r.Total, r.PaperTotal,
+			r.PassPct, r.PaperPass,
+			r.FailPct, r.PaperFail,
+			r.TimeoutPct, r.PaperTimeout,
+			r.ErrorPct, r.PaperError,
+			r.BestSpeedup, r.PaperSpeedup)
+	}
+	return sb.String()
+}

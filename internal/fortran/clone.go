@@ -1,0 +1,257 @@
+package fortran
+
+// Clone returns a deep copy of prog with all semantic annotations
+// stripped (the copy must be re-Analyzed). The precision tuner clones the
+// baseline AST before applying each precision assignment so that variants
+// never share mutable state — variant generation is embarrassingly
+// parallel, as in the paper's per-node variant pipeline.
+func Clone(prog *Program) *Program {
+	out := &Program{}
+	for _, m := range prog.Modules {
+		out.Modules = append(out.Modules, cloneModule(m))
+	}
+	if prog.Main != nil {
+		out.Main = cloneProc(prog.Main)
+	}
+	return out
+}
+
+func cloneModule(m *Module) *Module {
+	out := &Module{Pos: m.Pos, Name: m.Name}
+	out.Uses = append([]string(nil), m.Uses...)
+	for _, d := range m.Decls {
+		out.Decls = append(out.Decls, cloneDecl(d))
+	}
+	for _, p := range m.Procs {
+		out.Procs = append(out.Procs, cloneProc(p))
+	}
+	return out
+}
+
+func cloneProc(p *Procedure) *Procedure {
+	out := &Procedure{
+		Pos:        p.Pos,
+		Kind:       p.Kind,
+		Name:       p.Name,
+		ResultName: p.ResultName,
+	}
+	out.Params = append([]string(nil), p.Params...)
+	out.Uses = append([]string(nil), p.Uses...)
+	for _, d := range p.Decls {
+		out.Decls = append(out.Decls, cloneDecl(d))
+	}
+	out.Body = cloneStmts(p.Body)
+	return out
+}
+
+func cloneDecl(d *VarDecl) *VarDecl {
+	out := &VarDecl{
+		Pos: d.Pos, Name: d.Name, Base: d.Base, Kind: d.Kind,
+		Intent: d.Intent, IsParam: d.IsParam,
+	}
+	for _, dim := range d.Dims {
+		out.Dims = append(out.Dims, Dim{
+			Lo: cloneExpr(dim.Lo), Hi: cloneExpr(dim.Hi), Assumed: dim.Assumed,
+		})
+	}
+	out.Init = cloneExpr(d.Init)
+	return out
+}
+
+func cloneStmts(list []Stmt) []Stmt {
+	if list == nil {
+		return nil
+	}
+	out := make([]Stmt, len(list))
+	for i, s := range list {
+		out[i] = cloneStmt(s)
+	}
+	return out
+}
+
+func cloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *AssignStmt:
+		return &AssignStmt{Pos: s.Pos, LHS: cloneExpr(s.LHS), RHS: cloneExpr(s.RHS)}
+	case *IfStmt:
+		return &IfStmt{
+			Pos: s.Pos, Cond: cloneExpr(s.Cond),
+			Then: cloneStmts(s.Then), Else: cloneStmts(s.Else), ElseIf: s.ElseIf,
+		}
+	case *DoStmt:
+		return &DoStmt{
+			Pos: s.Pos, Var: cloneExpr(s.Var).(*VarRef),
+			From: cloneExpr(s.From), To: cloneExpr(s.To), Step: cloneExpr(s.Step),
+			Body: cloneStmts(s.Body), NoVector: s.NoVector,
+		}
+	case *DoWhileStmt:
+		return &DoWhileStmt{Pos: s.Pos, Cond: cloneExpr(s.Cond), Body: cloneStmts(s.Body)}
+	case *CallStmt:
+		return &CallStmt{Pos: s.Pos, Name: s.Name, Args: cloneExprs(s.Args)}
+	case *ReturnStmt:
+		return &ReturnStmt{Pos: s.Pos}
+	case *ExitStmt:
+		return &ExitStmt{Pos: s.Pos}
+	case *CycleStmt:
+		return &CycleStmt{Pos: s.Pos}
+	case *StopStmt:
+		return &StopStmt{Pos: s.Pos, Code: cloneExpr(s.Code)}
+	case *PrintStmt:
+		return &PrintStmt{Pos: s.Pos, Args: cloneExprs(s.Args)}
+	default:
+		panic("fortran.Clone: unknown statement")
+	}
+}
+
+func cloneExprs(list []Expr) []Expr {
+	if list == nil {
+		return nil
+	}
+	out := make([]Expr, len(list))
+	for i, e := range list {
+		out[i] = cloneExpr(e)
+	}
+	return out
+}
+
+func cloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *IntLit:
+		return &IntLit{Pos: e.Pos, Val: e.Val}
+	case *RealLit:
+		return &RealLit{Pos: e.Pos, Val: e.Val, Kind: e.Kind}
+	case *LogicalLit:
+		return &LogicalLit{Pos: e.Pos, Val: e.Val}
+	case *StrLit:
+		return &StrLit{Pos: e.Pos, Val: e.Val}
+	case *VarRef:
+		return &VarRef{Pos: e.Pos, Name: e.Name}
+	case *UnExpr:
+		return &UnExpr{Pos: e.Pos, Op: e.Op, X: cloneExpr(e.X)}
+	case *BinExpr:
+		return &BinExpr{Pos: e.Pos, Op: e.Op, X: cloneExpr(e.X), Y: cloneExpr(e.Y)}
+	case *ApplyExpr:
+		return &ApplyExpr{Pos: e.Pos, Name: e.Name, Args: cloneExprs(e.Args)}
+	case *CallExpr:
+		// Resolution is stripped: the clone reverts to the ambiguous form
+		// and is re-resolved by Analyze.
+		return &ApplyExpr{Pos: e.Pos, Name: e.Name, Args: cloneExprs(e.Args)}
+	case *IndexExpr:
+		return &ApplyExpr{Pos: e.Pos, Name: e.Arr.Name, Args: cloneExprs(e.Indices)}
+	default:
+		panic("fortran.Clone: unknown expression")
+	}
+}
+
+// Walk utilities --------------------------------------------------------------
+
+// WalkStmts calls fn for every statement in list, recursively (pre-order).
+// If fn returns false, the walk does not descend into that statement.
+func WalkStmts(list []Stmt, fn func(Stmt) bool) {
+	for _, s := range list {
+		walkStmt(s, fn)
+	}
+}
+
+func walkStmt(s Stmt, fn func(Stmt) bool) {
+	if s == nil || !fn(s) {
+		return
+	}
+	switch s := s.(type) {
+	case *IfStmt:
+		WalkStmts(s.Then, fn)
+		WalkStmts(s.Else, fn)
+	case *DoStmt:
+		WalkStmts(s.Body, fn)
+	case *DoWhileStmt:
+		WalkStmts(s.Body, fn)
+	}
+}
+
+// WalkExprs calls fn for every expression appearing in the statement
+// tree, recursively (pre-order). If fn returns false the walk does not
+// descend into that expression's children.
+func WalkExprs(list []Stmt, fn func(Expr) bool) {
+	WalkStmts(list, func(s Stmt) bool {
+		switch s := s.(type) {
+		case *AssignStmt:
+			walkExpr(s.LHS, fn)
+			walkExpr(s.RHS, fn)
+		case *IfStmt:
+			walkExpr(s.Cond, fn)
+		case *DoStmt:
+			walkExpr(s.Var, fn)
+			walkExpr(s.From, fn)
+			walkExpr(s.To, fn)
+			walkExpr(s.Step, fn)
+		case *DoWhileStmt:
+			walkExpr(s.Cond, fn)
+		case *CallStmt:
+			for _, a := range s.Args {
+				walkExpr(a, fn)
+			}
+		case *StopStmt:
+			walkExpr(s.Code, fn)
+		case *PrintStmt:
+			for _, a := range s.Args {
+				walkExpr(a, fn)
+			}
+		}
+		return true
+	})
+}
+
+// WalkExpr walks a single expression tree.
+func WalkExpr(e Expr, fn func(Expr) bool) { walkExpr(e, fn) }
+
+func walkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch e := e.(type) {
+	case *UnExpr:
+		walkExpr(e.X, fn)
+	case *BinExpr:
+		walkExpr(e.X, fn)
+		walkExpr(e.Y, fn)
+	case *ApplyExpr:
+		for _, a := range e.Args {
+			walkExpr(a, fn)
+		}
+	case *CallExpr:
+		for _, a := range e.Args {
+			walkExpr(a, fn)
+		}
+	case *IndexExpr:
+		walkExpr(e.Arr, fn)
+		for _, a := range e.Indices {
+			walkExpr(a, fn)
+		}
+	}
+}
+
+// RealDecls returns every real variable declaration in prog (module
+// variables and procedure locals), in deterministic order. These are the
+// search atoms of the precision tuner (§III-A of the paper).
+func RealDecls(prog *Program) []*VarDecl {
+	var out []*VarDecl
+	add := func(decls []*VarDecl) {
+		for _, d := range decls {
+			if d.Base == TReal && !d.IsParam {
+				out = append(out, d)
+			}
+		}
+	}
+	for _, m := range prog.Modules {
+		add(m.Decls)
+		for _, p := range m.Procs {
+			add(p.Decls)
+		}
+	}
+	if prog.Main != nil {
+		add(prog.Main.Decls)
+	}
+	return out
+}

@@ -1,0 +1,382 @@
+package fortran
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Lexer converts FT source text into tokens. Source is free-form:
+// '!' begins a comment, '&' at end of line continues the statement,
+// and case is insignificant (identifiers are lower-cased).
+type Lexer struct {
+	src     string
+	off     int
+	line    int
+	col     int
+	errs    []*Error
+	pending []Token // tokens queued by multi-token productions (e.g. "endif")
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the entire input. It returns the token stream ending in
+// EOF and any lexical errors encountered (lexing continues past errors).
+func Lex(src string) ([]Token, []*Error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t := lx.next()
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			break
+		}
+	}
+	return toks, lx.errs
+}
+
+func (lx *Lexer) errorf(pos Pos, format string, args ...any) {
+	lx.errs = append(lx.errs, errf(pos, format, args...))
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+// skipBlank consumes spaces, tabs, carriage returns, and comments.
+func (lx *Lexer) skipBlank() {
+	for lx.off < len(lx.src) {
+		switch lx.peek() {
+		case ' ', '\t', '\r':
+			lx.advance()
+		case '!':
+			if strings.HasPrefix(strings.ToLower(lx.src[lx.off:]), "!dir$") {
+				return // handled by next() as a DIRECTIVE token
+			}
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (lx *Lexer) next() Token {
+	if len(lx.pending) > 0 {
+		t := lx.pending[0]
+		lx.pending = lx.pending[1:]
+		return t
+	}
+	for {
+		lx.skipBlank()
+		if lx.off >= len(lx.src) {
+			return Token{Kind: EOF, Pos: lx.pos()}
+		}
+		pos := lx.pos()
+		c := lx.peek()
+
+		switch {
+		case c == '\n':
+			lx.advance()
+			return Token{Kind: NEWLINE, Pos: pos}
+		case c == '!':
+			// Only compiler directives reach here; plain comments are
+			// consumed by skipBlank.
+			start := lx.off
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+			text := strings.ToLower(strings.TrimSpace(lx.src[start+len("!dir$") : lx.off]))
+			return Token{Kind: DIRECTIVE, Pos: pos, Text: text}
+		case c == '&':
+			// Continuation: swallow '&', optional comment, and the newline.
+			lx.advance()
+			lx.skipBlank()
+			if lx.peek() == '\n' {
+				lx.advance()
+			}
+			// A leading '&' on the continued line is also permitted.
+			lx.skipBlank()
+			if lx.peek() == '&' {
+				lx.advance()
+			}
+			continue
+		case isAlpha(c):
+			return lx.lexIdent(pos)
+		case isDigit(c):
+			return lx.lexNumber(pos)
+		case c == '.':
+			// Either a dot-operator (.and.) or a real literal (.5).
+			if isDigit(lx.peek2()) {
+				return lx.lexNumber(pos)
+			}
+			return lx.lexDotOp(pos)
+		case c == '\'' || c == '"':
+			return lx.lexString(pos)
+		default:
+			return lx.lexOperator(pos)
+		}
+	}
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }
+
+// endForms maps fused END keywords to their split second word, so the
+// parser only ever sees the spaced form ("end do", "end if", ...).
+var endForms = map[string]string{
+	"endif": "if", "enddo": "do", "endmodule": "module",
+	"endsubroutine": "subroutine", "endfunction": "function",
+	"endprogram": "program",
+}
+
+func (lx *Lexer) lexIdent(pos Pos) Token {
+	start := lx.off
+	for lx.off < len(lx.src) && isAlnum(lx.peek()) {
+		lx.advance()
+	}
+	text := strings.ToLower(lx.src[start:lx.off])
+	if second, ok := endForms[text]; ok {
+		lx.pending = append(lx.pending, Token{Kind: IDENT, Pos: pos, Text: second})
+		return Token{Kind: IDENT, Pos: pos, Text: "end"}
+	}
+	return Token{Kind: IDENT, Pos: pos, Text: text}
+}
+
+// lexNumber lexes integer and real literals, including kind suffixes:
+//
+//	42        integer
+//	1.5       real kind 4 (default real)
+//	1.5e3     real kind 4
+//	1.5d3     real kind 8 (double-precision exponent)
+//	1.5_8     real kind 8 (explicit kind suffix)
+//	7_8       integer with kind suffix (kind ignored; integers are 64-bit)
+func (lx *Lexer) lexNumber(pos Pos) Token {
+	start := lx.off
+	isReal := false
+	kind := 4
+	for lx.off < len(lx.src) && isDigit(lx.peek()) {
+		lx.advance()
+	}
+	if lx.peek() == '.' && !isDotOpAhead(lx.src[lx.off:]) {
+		isReal = true
+		lx.advance()
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+	}
+	mantEnd := lx.off
+	if c := lx.peek(); c == 'e' || c == 'E' || c == 'd' || c == 'D' {
+		save := lx.off
+		saveLine, saveCol := lx.line, lx.col
+		expChar := c
+		lx.advance()
+		if lx.peek() == '+' || lx.peek() == '-' {
+			lx.advance()
+		}
+		if isDigit(lx.peek()) {
+			isReal = true
+			if expChar == 'd' || expChar == 'D' {
+				kind = 8
+			}
+			for lx.off < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+			mantEnd = lx.off
+		} else {
+			// Not an exponent (e.g. "3.eq." was impossible here, but
+			// "1e" followed by an identifier char); back off.
+			lx.off, lx.line, lx.col = save, saveLine, saveCol
+		}
+	}
+	text := lx.src[start:mantEnd]
+	// Kind suffix: _4 or _8.
+	if lx.peek() == '_' {
+		save := lx.off
+		saveLine, saveCol := lx.line, lx.col
+		lx.advance()
+		kstart := lx.off
+		for lx.off < len(lx.src) && isAlnum(lx.peek()) {
+			lx.advance()
+		}
+		ks := lx.src[kstart:lx.off]
+		switch ks {
+		case "4":
+			kind = 4
+		case "8":
+			kind = 8
+		default:
+			lx.errorf(pos, "unsupported kind suffix _%s (want _4 or _8)", ks)
+			lx.off, lx.line, lx.col = save, saveLine, saveCol
+		}
+	}
+	if !isReal {
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			lx.errorf(pos, "bad integer literal %q: %v", text, err)
+		}
+		return Token{Kind: INT, Pos: pos, Int: v}
+	}
+	norm := strings.Map(func(r rune) rune {
+		if r == 'd' || r == 'D' {
+			return 'e'
+		}
+		return r
+	}, text)
+	v, err := strconv.ParseFloat(norm, 64)
+	if err != nil {
+		lx.errorf(pos, "bad real literal %q: %v", text, err)
+	}
+	return Token{Kind: REAL, Pos: pos, Real: v, RK: kind}
+}
+
+// isDotOpAhead reports whether s begins with a dot-operator like ".and.",
+// so that "1.and.x" lexes as INT DOT-OP rather than a malformed real.
+func isDotOpAhead(s string) bool {
+	for _, op := range []string{".and.", ".or.", ".not.", ".true.", ".false.",
+		".eq.", ".ne.", ".lt.", ".le.", ".gt.", ".ge."} {
+		if len(s) >= len(op) && strings.EqualFold(s[:len(op)], op) {
+			return true
+		}
+	}
+	return false
+}
+
+var dotOps = map[string]TokKind{
+	"and": AND, "or": OR, "not": NOT, "true": TRUE, "false": FALSE,
+	"eq": EQ, "ne": NE, "lt": LT, "le": LE, "gt": GT, "ge": GE,
+}
+
+func (lx *Lexer) lexDotOp(pos Pos) Token {
+	lx.advance() // '.'
+	start := lx.off
+	for lx.off < len(lx.src) && isAlpha(lx.peek()) {
+		lx.advance()
+	}
+	word := strings.ToLower(lx.src[start:lx.off])
+	if lx.peek() != '.' {
+		lx.errorf(pos, "malformed dot-operator .%s", word)
+		return Token{Kind: NEWLINE, Pos: pos}
+	}
+	lx.advance() // trailing '.'
+	k, ok := dotOps[word]
+	if !ok {
+		lx.errorf(pos, "unknown dot-operator .%s.", word)
+		return Token{Kind: NEWLINE, Pos: pos}
+	}
+	return Token{Kind: k, Pos: pos}
+}
+
+func (lx *Lexer) lexString(pos Pos) Token {
+	quote := lx.advance()
+	var sb strings.Builder
+	for lx.off < len(lx.src) {
+		c := lx.advance()
+		if c == quote {
+			// Doubled quote is an escaped quote.
+			if lx.peek() == quote {
+				lx.advance()
+				sb.WriteByte(quote)
+				continue
+			}
+			return Token{Kind: STRING, Pos: pos, Text: sb.String()}
+		}
+		if c == '\n' {
+			lx.errorf(pos, "unterminated string literal")
+			return Token{Kind: STRING, Pos: pos, Text: sb.String()}
+		}
+		sb.WriteByte(c)
+	}
+	lx.errorf(pos, "unterminated string literal")
+	return Token{Kind: STRING, Pos: pos, Text: sb.String()}
+}
+
+func (lx *Lexer) lexOperator(pos Pos) Token {
+	c := lx.advance()
+	switch c {
+	case '+':
+		return Token{Kind: PLUS, Pos: pos}
+	case '-':
+		return Token{Kind: MINUS, Pos: pos}
+	case '*':
+		if lx.peek() == '*' {
+			lx.advance()
+			return Token{Kind: POW, Pos: pos}
+		}
+		return Token{Kind: STAR, Pos: pos}
+	case '/':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: NE, Pos: pos}
+		}
+		return Token{Kind: SLASH, Pos: pos}
+	case '=':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: EQ, Pos: pos}
+		}
+		return Token{Kind: ASSIGN, Pos: pos}
+	case '<':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: LE, Pos: pos}
+		}
+		return Token{Kind: LT, Pos: pos}
+	case '>':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: GE, Pos: pos}
+		}
+		return Token{Kind: GT, Pos: pos}
+	case '(':
+		return Token{Kind: LPAREN, Pos: pos}
+	case ')':
+		return Token{Kind: RPAREN, Pos: pos}
+	case ',':
+		return Token{Kind: COMMA, Pos: pos}
+	case ';':
+		return Token{Kind: SEMI, Pos: pos}
+	case ':':
+		if lx.peek() == ':' {
+			lx.advance()
+			return Token{Kind: DCOLON, Pos: pos}
+		}
+		return Token{Kind: COLON, Pos: pos}
+	default:
+		lx.errorf(pos, "unexpected character %q", string(c))
+		return Token{Kind: NEWLINE, Pos: pos}
+	}
+}

@@ -1,0 +1,212 @@
+package fortran
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func lexKinds(t *testing.T, src string) []TokKind {
+	t.Helper()
+	toks, errs := Lex(src)
+	if len(errs) > 0 {
+		t.Fatalf("Lex(%q) errors: %v", src, errs[0])
+	}
+	kinds := make([]TokKind, len(toks))
+	for i, tok := range toks {
+		kinds[i] = tok.Kind
+	}
+	return kinds
+}
+
+func TestLexOperators(t *testing.T) {
+	got := lexKinds(t, "a = b ** 2 + c / d .and. x /= y")
+	want := []TokKind{IDENT, ASSIGN, IDENT, POW, INT, PLUS, IDENT, SLASH,
+		IDENT, AND, IDENT, NE, IDENT, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexRealLiterals(t *testing.T) {
+	tests := []struct {
+		src  string
+		val  float64
+		kind int
+	}{
+		{"1.5", 1.5, 4},
+		{"1.5e3", 1500, 4},
+		{"1.5d3", 1500, 8},
+		{"1.5_8", 1.5, 8},
+		{"1.5_4", 1.5, 4},
+		{"2.0d0", 2, 8},
+		{"0.25e-2", 0.0025, 4},
+		{".5", 0.5, 4},
+		{"3.", 3, 4},
+		{"1e10", 1e10, 4},
+	}
+	for _, tt := range tests {
+		toks, errs := Lex(tt.src)
+		if len(errs) > 0 {
+			t.Errorf("Lex(%q): %v", tt.src, errs[0])
+			continue
+		}
+		if toks[0].Kind != REAL {
+			t.Errorf("Lex(%q): got kind %v, want REAL", tt.src, toks[0].Kind)
+			continue
+		}
+		if toks[0].Real != tt.val || toks[0].RK != tt.kind {
+			t.Errorf("Lex(%q) = (%g, kind %d), want (%g, kind %d)",
+				tt.src, toks[0].Real, toks[0].RK, tt.val, tt.kind)
+		}
+	}
+}
+
+func TestLexIntegerVsDotOp(t *testing.T) {
+	// "1.and." must lex as INT AND, not a malformed real literal.
+	got := lexKinds(t, "if (x == 1 .and. y == 2.) exit")
+	want := []TokKind{IDENT, LPAREN, IDENT, EQ, INT, AND, IDENT, EQ, REAL,
+		RPAREN, IDENT, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexContinuation(t *testing.T) {
+	src := "x = a + &\n    b\ny = 1"
+	toks, errs := Lex(src)
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	// Expect no NEWLINE between "+" and "b".
+	var kinds []TokKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	want := []TokKind{IDENT, ASSIGN, IDENT, PLUS, IDENT, NEWLINE, IDENT,
+		ASSIGN, INT, EOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexContinuationLeadingAmp(t *testing.T) {
+	src := "x = a + &\n  & b"
+	toks, errs := Lex(src)
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	if toks[4].Kind != IDENT || toks[4].Text != "b" {
+		t.Errorf("continued token: got %v, want identifier b", toks[4])
+	}
+}
+
+func TestLexCommentsSkipped(t *testing.T) {
+	got := lexKinds(t, "x = 1 ! comment with 'junk' ** tokens\ny = 2")
+	want := []TokKind{IDENT, ASSIGN, INT, NEWLINE, IDENT, ASSIGN, INT, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLexDirective(t *testing.T) {
+	toks, errs := Lex("!dir$ novector\ndo i = 1, n")
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	if toks[0].Kind != DIRECTIVE || toks[0].Text != "novector" {
+		t.Errorf("got %v %q, want DIRECTIVE novector", toks[0].Kind, toks[0].Text)
+	}
+}
+
+func TestLexCaseInsensitive(t *testing.T) {
+	toks, _ := Lex("REAL :: Foo_Bar")
+	if toks[0].Text != "real" || toks[2].Text != "foo_bar" {
+		t.Errorf("identifiers not lower-cased: %v %v", toks[0], toks[2])
+	}
+}
+
+func TestLexEndFusedKeywords(t *testing.T) {
+	toks, errs := Lex("enddo\nendif")
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	if toks[0].Text != "end" || toks[1].Text != "do" {
+		t.Errorf("enddo: got %v %v", toks[0], toks[1])
+	}
+	if toks[3].Text != "end" || toks[4].Text != "if" {
+		t.Errorf("endif: got %v %v", toks[3], toks[4])
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, errs := Lex(`print *, 'it''s fine', "double"`)
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	if toks[3].Kind != STRING || toks[3].Text != "it's fine" {
+		t.Errorf("got %v", toks[3])
+	}
+	if toks[5].Kind != STRING || toks[5].Text != "double" {
+		t.Errorf("got %v", toks[5])
+	}
+}
+
+func TestLexUnterminatedString(t *testing.T) {
+	_, errs := Lex("print *, 'oops\nx = 1")
+	if len(errs) == 0 {
+		t.Fatal("expected error for unterminated string")
+	}
+}
+
+func TestLexBadKindSuffix(t *testing.T) {
+	_, errs := Lex("x = 1.0_16")
+	if len(errs) == 0 {
+		t.Fatal("expected error for unsupported kind suffix")
+	}
+}
+
+// Property: any finite float64 printed in Go 'g' format with a d0 suffix
+// round-trips through the lexer.
+func TestLexRealRoundTripProperty(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		v = math.Abs(v)
+		lit := &RealLit{Val: v, Kind: 8}
+		toks, errs := Lex(ExprString(lit))
+		if len(errs) > 0 || toks[0].Kind != REAL {
+			return false
+		}
+		return toks[0].Real == v && toks[0].RK == 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, _ := Lex("x = 1\n  y = 2")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("x at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[4].Pos.Line != 2 || toks[4].Pos.Col != 3 {
+		t.Errorf("y at %v, want 2:3", toks[4].Pos)
+	}
+}

@@ -1,0 +1,202 @@
+package fortran
+
+import (
+	"testing"
+)
+
+// exprTypeOf parses a program with kind-4 x4, kind-8 x8, parameter c8,
+// and integer i, then returns the static type of "r = <expr>"'s RHS.
+func exprTypeOf(t *testing.T, expr string, logical bool) Type {
+	t.Helper()
+	target := "r8"
+	if logical {
+		target = "lg"
+	}
+	src := `
+program p
+  implicit none
+  real(kind=4) :: x4, y4
+  real(kind=8) :: x8, y8, r8
+  real(kind=8), parameter :: c8 = 2.5d0
+  real(kind=4), parameter :: c4 = 1.5
+  integer :: i
+  logical :: lg
+  ` + target + ` = ` + expr + `
+end program p
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	if _, err := Analyze(prog, Options{}); err != nil {
+		t.Fatalf("analyze %q: %v", expr, err)
+	}
+	return prog.Main.Body[0].(*AssignStmt).RHS.Type()
+}
+
+// TestPolymorphicConstantKinds: constants adopt the kind of the variable
+// they combine with (the _RKIND idiom; DESIGN.md §5).
+func TestPolymorphicConstantKinds(t *testing.T) {
+	cases := []struct {
+		expr string
+		kind int
+	}{
+		{"x4 * 2.0d0", 4},  // d0 literal follows the kind-4 variable
+		{"x8 * 2.0", 8},    // default-kind literal follows kind-8
+		{"x4 + c8", 4},     // kind-8 parameter follows kind-4 variable
+		{"x8 + c4", 8},     // kind-4 parameter follows kind-8 variable
+		{"2.0 * 3.0d0", 8}, // all-constant: written kinds promote
+		{"c4 * c8", 8},     // all-parameter: written kinds promote
+		{"x4 * x8", 8},     // two variables: standard promotion
+		{"(2.0d0 * x4) + 1.0d0", 4},
+		{"-c8 * x4", 4}, // signed constants stay polymorphic
+		{"x4 ** 2.0d0", 4},
+		{"i * 2.0d0", 8}, // integer with constant: written kind
+	}
+	for _, tc := range cases {
+		got := exprTypeOf(t, tc.expr, false)
+		if got.Base != TReal || got.Kind != tc.kind {
+			t.Errorf("%q: type %v, want real(kind=%d)", tc.expr, got, tc.kind)
+		}
+	}
+}
+
+// TestComparisonRecordsOperandKind: relational results are logical but
+// carry the polymorphic operand kind for the evaluator.
+func TestComparisonRecordsOperandKind(t *testing.T) {
+	cases := []struct {
+		expr string
+		kind int
+	}{
+		{"x4 > 2.0d0", 4},
+		{"x8 > 2.0", 8},
+		{"x4 > x8", 8},
+	}
+	for _, tc := range cases {
+		got := exprTypeOf(t, tc.expr, true)
+		if got.Base != TLogical {
+			t.Fatalf("%q: base %v", tc.expr, got.Base)
+		}
+		if got.Kind != tc.kind {
+			t.Errorf("%q: operand kind %d, want %d", tc.expr, got.Kind, tc.kind)
+		}
+	}
+}
+
+// TestConstRealPredicate covers the classifier itself.
+func TestConstRealPredicate(t *testing.T) {
+	src := `
+program p
+  implicit none
+  real(kind=8) :: v
+  real(kind=8), parameter :: c = 1.0d0
+  integer, parameter :: n = 3
+  v = c + 1.0d0
+end program p
+`
+	prog := MustParse(src)
+	MustAnalyze(prog, Options{})
+	rhs := prog.Main.Body[0].(*AssignStmt).RHS.(*BinExpr)
+	if !ConstReal(rhs.X) { // parameter reference
+		t.Error("real parameter not ConstReal")
+	}
+	if !ConstReal(rhs.Y) { // literal
+		t.Error("real literal not ConstReal")
+	}
+	if !ConstReal(&UnExpr{Op: MINUS, X: rhs.Y}) {
+		t.Error("signed literal not ConstReal")
+	}
+	if ConstReal(rhs) {
+		t.Error("binary expression wrongly ConstReal")
+	}
+	// A non-parameter variable is not const.
+	vRef := prog.Main.Body[0].(*AssignStmt).LHS
+	if ConstReal(vRef) {
+		t.Error("variable wrongly ConstReal")
+	}
+}
+
+// TestConstArgumentsAdoptDummyKind: literal/parameter actuals never need
+// wrappers — they adopt the dummy's kind.
+func TestConstArgumentsAdoptDummyKind(t *testing.T) {
+	src := `
+module m
+  implicit none
+  real(kind=8), parameter :: c8 = 4.0d0
+  real(kind=8) :: out
+contains
+  function f(x) result(y)
+    real(kind=4) :: x, y
+    y = x + 1.0
+  end function f
+  subroutine drive()
+    out = f(2.0d0) + f(c8)
+  end subroutine drive
+end module m
+program p
+  use m
+  implicit none
+  call drive()
+end program p
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatalf("strict analysis rejected constant arguments: %v", err)
+	}
+	if len(info.Mismatches) != 0 {
+		t.Errorf("constant arguments recorded as mismatches: %+v", info.Mismatches)
+	}
+}
+
+// TestVariableArgumentsStillMismatch: the polymorphic rule applies only
+// to constants; variables keep strict kind matching.
+func TestVariableArgumentsStillMismatch(t *testing.T) {
+	src := `
+module m
+  implicit none
+contains
+  function f(x) result(y)
+    real(kind=4) :: x, y
+    y = x
+  end function f
+  subroutine drive()
+    real(kind=8) :: a, o
+    a = 1.0d0
+    o = f(a)
+  end subroutine drive
+end module m
+program p
+  use m
+  implicit none
+  call drive()
+end program p
+`
+	prog, _ := Parse(src)
+	if _, err := Analyze(prog, Options{}); err == nil {
+		t.Fatal("kind-8 variable accepted for kind-4 dummy")
+	}
+}
+
+// TestIntrinsicPolymorphicArgs: min/max/sign with mixed variable and
+// constant arguments follow the variable.
+func TestIntrinsicPolymorphicArgs(t *testing.T) {
+	cases := []struct {
+		expr string
+		kind int
+	}{
+		{"max(x4, 0.0d0)", 4},
+		{"min(x8, 1.0, 2.0)", 8},
+		{"sign(0.5d0, x4)", 4},
+		{"max(2.0, 3.0d0)", 8}, // all-constant falls back to written kinds
+	}
+	for _, tc := range cases {
+		got := exprTypeOf(t, tc.expr, false)
+		if got.Kind != tc.kind {
+			t.Errorf("%q: kind %d, want %d", tc.expr, got.Kind, tc.kind)
+		}
+	}
+}

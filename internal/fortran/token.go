@@ -1,0 +1,119 @@
+// Package fortran implements a lexer, parser, semantic analyzer, and
+// pretty-printer for FT, a Fortran-95 subset sufficient to express the
+// weather/climate model surrogates tuned in this repository.
+//
+// FT supports modules, subroutines, functions, real(kind=4/8) scalars and
+// arrays (explicit- and assumed-shape), integer and logical types,
+// parameter constants, do/do-while/if control flow, and a set of numeric
+// intrinsics. It deliberately omits pointers, I/O beyond PRINT/STOP,
+// generic interfaces, and derived types: none are needed by the precision
+// tuner, which only manipulates declarations, call sites, and FP data flow.
+package fortran
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds. NEWLINE is significant: FT, like Fortran, is line-oriented.
+const (
+	EOF TokKind = iota
+	NEWLINE
+	IDENT  // identifiers and keywords (Fortran has no reserved words)
+	INT    // integer literal
+	REAL   // real literal, with kind suffix resolved
+	STRING // character literal (PRINT only)
+
+	PLUS   // +
+	MINUS  // -
+	STAR   // *
+	SLASH  // /
+	POW    // **
+	ASSIGN // =
+	EQ     // == or .eq.
+	NE     // /= or .ne.
+	LT     // <  or .lt.
+	LE     // <= or .le.
+	GT     // >  or .gt.
+	GE     // >= or .ge.
+	AND    // .and.
+	OR     // .or.
+	NOT    // .not.
+	TRUE   // .true.
+	FALSE  // .false.
+
+	LPAREN    // (
+	RPAREN    // )
+	COMMA     // ,
+	DCOLON    // ::
+	COLON     // :
+	SEMI      // ;
+	DIRECTIVE // !dir$ <text>
+)
+
+var tokNames = map[TokKind]string{
+	EOF: "EOF", NEWLINE: "newline", IDENT: "identifier", INT: "integer",
+	REAL: "real", STRING: "string", PLUS: "+", MINUS: "-", STAR: "*",
+	SLASH: "/", POW: "**", ASSIGN: "=", EQ: "==", NE: "/=", LT: "<",
+	LE: "<=", GT: ">", GE: ">=", AND: ".and.", OR: ".or.", NOT: ".not.",
+	TRUE: ".true.", FALSE: ".false.", LPAREN: "(", RPAREN: ")",
+	COMMA: ",", DCOLON: "::", COLON: ":", SEMI: ";", DIRECTIVE: "!dir$",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int // 1-based
+	Col  int // 1-based
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token.
+type Token struct {
+	Kind TokKind
+	Pos  Pos
+	Text string  // lower-cased for IDENT; raw for STRING
+	Int  int64   // valid for INT
+	Real float64 // valid for REAL
+	RK   int     // real literal kind: 4 or 8
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return t.Text
+	case INT:
+		return fmt.Sprintf("%d", t.Int)
+	case REAL:
+		return fmt.Sprintf("%g_%d", t.Real, t.RK)
+	case STRING:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a diagnostic tied to a source position.
+type Error struct {
+	Pos  Pos
+	Msg  string
+	File string
+}
+
+func (e *Error) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("%s:%s: %s", e.File, e.Pos, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

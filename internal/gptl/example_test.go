@@ -1,0 +1,31 @@
+package gptl_test
+
+import (
+	"fmt"
+
+	"repro/internal/gptl"
+)
+
+// Timers run against an abstract clock; the tuner supplies the machine
+// model's simulated-cycle counter.
+func Example() {
+	var now float64
+	clock := func() float64 { return now }
+
+	t := gptl.New(clock)
+	t.Start("atm_srk3")
+	now += 40
+	t.Start("flux4")
+	now += 10
+	_ = t.Stop("flux4")
+	now += 50
+	_ = t.Stop("atm_srk3")
+
+	outer := t.Region("atm_srk3")
+	inner := t.Region("flux4")
+	fmt.Printf("atm_srk3: self=%.0f inclusive=%.0f\n", outer.Self, outer.Inclusive)
+	fmt.Printf("flux4:    self=%.0f calls=%d\n", inner.Self, inner.Calls)
+	// Output:
+	// atm_srk3: self=90 inclusive=100
+	// flux4:    self=10 calls=1
+}

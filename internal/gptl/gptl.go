@@ -1,0 +1,175 @@
+// Package gptl provides nested named-region timing in the style of the
+// General Purpose Timing Library used by the paper to collect hotspot CPU
+// time (§III-E). Timers run against an abstract Clock so the same code
+// times either wall-clock seconds or the machine model's simulated
+// cycles; the precision tuner uses the latter.
+//
+// Like the real GPTL, instrumentation is not free: each Start/Stop pair
+// can be configured to consume clock time (Overhead), modeling the 1–7%
+// timing overhead reported in the paper.
+package gptl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Clock returns the current time in arbitrary units. It must be
+// monotonically non-decreasing.
+type Clock func() float64
+
+// Advancer is implemented by clocks whose time can be consumed by the
+// instrumentation itself (simulated clocks). If the Timers' clock also
+// implements Advancer via SetOverheadFunc, Start/Stop charge Overhead
+// units per event.
+type Advancer func(units float64)
+
+// Region accumulates statistics for one named timer region.
+type Region struct {
+	Name      string
+	Calls     int64
+	Self      float64 // time excluding child regions
+	Inclusive float64 // time including child regions (outermost instances)
+	MaxDepth  int
+}
+
+// PerCall returns the average self time per call.
+func (r *Region) PerCall() float64 {
+	if r.Calls == 0 {
+		return 0
+	}
+	return r.Self / float64(r.Calls)
+}
+
+type stackEntry struct {
+	region *Region
+	start  float64
+	child  float64
+}
+
+// Timers is a set of nested region timers. The zero value is not usable;
+// call New.
+type Timers struct {
+	clock    Clock
+	advance  Advancer
+	overhead float64
+	regions  map[string]*Region
+	stack    []stackEntry
+	active   map[string]int // recursion depth per region
+}
+
+// New returns a timer set reading the given clock.
+func New(clock Clock) *Timers {
+	return &Timers{
+		clock:   clock,
+		regions: make(map[string]*Region),
+		active:  make(map[string]int),
+	}
+}
+
+// SetOverhead configures the per-event instrumentation cost, charged to
+// the clock through advance (may be nil to disable charging).
+func (t *Timers) SetOverhead(unitsPerEvent float64, advance Advancer) {
+	t.overhead = unitsPerEvent
+	t.advance = advance
+}
+
+// Start opens the named region. Regions nest; the same name may recurse.
+func (t *Timers) Start(name string) {
+	if t.advance != nil && t.overhead > 0 {
+		t.advance(t.overhead)
+	}
+	r, ok := t.regions[name]
+	if !ok {
+		r = &Region{Name: name}
+		t.regions[name] = r
+	}
+	t.active[name]++
+	if d := len(t.stack) + 1; d > r.MaxDepth {
+		r.MaxDepth = d
+	}
+	t.stack = append(t.stack, stackEntry{region: r, start: t.clock()})
+}
+
+// Stop closes the named region, which must be the innermost open region.
+func (t *Timers) Stop(name string) error {
+	if len(t.stack) == 0 {
+		return fmt.Errorf("gptl: Stop(%q) with no open region", name)
+	}
+	top := t.stack[len(t.stack)-1]
+	if top.region.Name != name {
+		return fmt.Errorf("gptl: Stop(%q) but innermost open region is %q", name, top.region.Name)
+	}
+	t.stack = t.stack[:len(t.stack)-1]
+	if t.advance != nil && t.overhead > 0 {
+		t.advance(t.overhead)
+	}
+	total := t.clock() - top.start
+	r := top.region
+	r.Calls++
+	r.Self += total - top.child
+	t.active[name]--
+	if t.active[name] == 0 {
+		// Only outermost instances contribute to inclusive time, as in
+		// GPTL's handling of recursion.
+		r.Inclusive += total
+	}
+	if len(t.stack) > 0 {
+		t.stack[len(t.stack)-1].child += total
+	}
+	return nil
+}
+
+// Depth returns the current nesting depth.
+func (t *Timers) Depth() int { return len(t.stack) }
+
+// Region returns the statistics for name, or nil if never started.
+func (t *Timers) Region(name string) *Region { return t.regions[name] }
+
+// Regions returns all regions sorted by descending self time.
+func (t *Timers) Regions() []*Region {
+	out := make([]*Region, 0, len(t.regions))
+	for _, r := range t.regions {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Self != out[j].Self {
+			return out[i].Self > out[j].Self
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TotalSelf sums self time over regions whose name matches keep
+// (keep == nil keeps all). Hotspot CPU time in the tuner is the total
+// self time of the hotspot module's procedures, mirroring the paper's
+// exclusion of non-targeted model functions but not of intrinsics.
+func (t *Timers) TotalSelf(keep func(name string) bool) float64 {
+	var sum float64
+	for name, r := range t.regions {
+		if keep == nil || keep(name) {
+			sum += r.Self
+		}
+	}
+	return sum
+}
+
+// Reset clears all accumulated statistics and the region stack.
+func (t *Timers) Reset() {
+	t.regions = make(map[string]*Region)
+	t.stack = t.stack[:0]
+	t.active = make(map[string]int)
+}
+
+// Report renders a GPTL-style table of the regions.
+func (t *Timers) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-42s %12s %16s %16s %14s\n", "region", "calls", "self", "inclusive", "self/call")
+	for _, r := range t.Regions() {
+		fmt.Fprintf(&sb, "%-42s %12d %16.0f %16.0f %14.2f\n",
+			r.Name, r.Calls, r.Self, r.Inclusive, r.PerCall())
+	}
+	return sb.String()
+}

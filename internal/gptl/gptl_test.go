@@ -1,0 +1,214 @@
+package gptl
+
+import (
+	"math"
+	"testing"
+)
+
+// fakeClock is a manually advanced clock.
+type fakeClock struct{ now float64 }
+
+func (c *fakeClock) clock() float64    { return c.now }
+func (c *fakeClock) advance(u float64) { c.now += u }
+
+func TestSelfVsInclusive(t *testing.T) {
+	c := &fakeClock{}
+	tm := New(c.clock)
+	tm.Start("outer")
+	c.advance(10)
+	tm.Start("inner")
+	c.advance(5)
+	if err := tm.Stop("inner"); err != nil {
+		t.Fatal(err)
+	}
+	c.advance(2)
+	if err := tm.Stop("outer"); err != nil {
+		t.Fatal(err)
+	}
+	outer := tm.Region("outer")
+	inner := tm.Region("inner")
+	if outer.Self != 12 || outer.Inclusive != 17 {
+		t.Errorf("outer self=%g incl=%g, want 12/17", outer.Self, outer.Inclusive)
+	}
+	if inner.Self != 5 || inner.Inclusive != 5 || inner.Calls != 1 {
+		t.Errorf("inner self=%g incl=%g calls=%d", inner.Self, inner.Inclusive, inner.Calls)
+	}
+}
+
+func TestRecursionInclusiveOnce(t *testing.T) {
+	c := &fakeClock{}
+	tm := New(c.clock)
+	tm.Start("f")
+	c.advance(1)
+	tm.Start("f")
+	c.advance(3)
+	if err := tm.Stop("f"); err != nil {
+		t.Fatal(err)
+	}
+	c.advance(1)
+	if err := tm.Stop("f"); err != nil {
+		t.Fatal(err)
+	}
+	f := tm.Region("f")
+	if f.Calls != 2 {
+		t.Errorf("calls = %d, want 2", f.Calls)
+	}
+	if f.Self != 5 {
+		t.Errorf("self = %g, want 5", f.Self)
+	}
+	// Inclusive counts the outermost instance only: 5, not 8.
+	if f.Inclusive != 5 {
+		t.Errorf("inclusive = %g, want 5", f.Inclusive)
+	}
+	if f.MaxDepth != 2 {
+		t.Errorf("max depth = %d, want 2", f.MaxDepth)
+	}
+}
+
+func TestMismatchedStop(t *testing.T) {
+	c := &fakeClock{}
+	tm := New(c.clock)
+	tm.Start("a")
+	if err := tm.Stop("b"); err == nil {
+		t.Error("Stop of wrong region did not error")
+	}
+	if err := tm.Stop("a"); err != nil {
+		t.Errorf("correct Stop after failed Stop: %v", err)
+	}
+	if err := tm.Stop("a"); err == nil {
+		t.Error("Stop with empty stack did not error")
+	}
+}
+
+func TestOverheadCharged(t *testing.T) {
+	c := &fakeClock{}
+	tm := New(c.clock)
+	tm.SetOverhead(2, c.advance)
+	tm.Start("r")
+	c.advance(100)
+	if err := tm.Stop("r"); err != nil {
+		t.Fatal(err)
+	}
+	r := tm.Region("r")
+	// Start charges 2 before reading the clock, Stop charges 2 before
+	// reading: region sees 100 + 2 = 102; clock total advanced 104.
+	if r.Self != 102 {
+		t.Errorf("self = %g, want 102 (overhead inside region)", r.Self)
+	}
+	if c.now != 104 {
+		t.Errorf("clock = %g, want 104", c.now)
+	}
+}
+
+func TestOverheadPercentRange(t *testing.T) {
+	// With a per-event overhead of 1 and regions of length ~50, total
+	// overhead should land in the paper's reported 1–7% band.
+	c := &fakeClock{}
+	tm := New(c.clock)
+	tm.SetOverhead(1, c.advance)
+	for i := 0; i < 1000; i++ {
+		tm.Start("k")
+		c.advance(50)
+		if err := tm.Stop("k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	measured := tm.Region("k").Self
+	pure := 50000.0
+	pct := (measured - pure) / pure * 100
+	if pct < 1 || pct > 7 {
+		t.Errorf("overhead = %.2f%%, want within 1-7%%", pct)
+	}
+}
+
+func TestTotalSelfFilter(t *testing.T) {
+	c := &fakeClock{}
+	tm := New(c.clock)
+	for _, name := range []string{"hot.a", "hot.b", "cold.c"} {
+		tm.Start(name)
+		c.advance(10)
+		if err := tm.Stop(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tm.TotalSelf(func(n string) bool { return n[:3] == "hot" })
+	if got != 20 {
+		t.Errorf("TotalSelf(hot) = %g, want 20", got)
+	}
+	if all := tm.TotalSelf(nil); all != 30 {
+		t.Errorf("TotalSelf(nil) = %g, want 30", all)
+	}
+}
+
+func TestRegionsSorted(t *testing.T) {
+	c := &fakeClock{}
+	tm := New(c.clock)
+	for i, name := range []string{"small", "large", "mid"} {
+		tm.Start(name)
+		c.advance(float64((i*7)%20 + 1))
+		if err := tm.Stop(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs := tm.Regions()
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1].Self < rs[i].Self {
+			t.Errorf("regions not sorted by self time: %v then %v", rs[i-1], rs[i])
+		}
+	}
+}
+
+func TestPerCall(t *testing.T) {
+	c := &fakeClock{}
+	tm := New(c.clock)
+	for i := 0; i < 4; i++ {
+		tm.Start("r")
+		c.advance(3)
+		if err := tm.Stop("r"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pc := tm.Region("r").PerCall(); math.Abs(pc-3) > 1e-12 {
+		t.Errorf("per-call = %g, want 3", pc)
+	}
+	if (&Region{}).PerCall() != 0 {
+		t.Error("PerCall of empty region should be 0")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := &fakeClock{}
+	tm := New(c.clock)
+	tm.Start("r")
+	c.advance(1)
+	if err := tm.Stop("r"); err != nil {
+		t.Fatal(err)
+	}
+	tm.Reset()
+	if tm.Region("r") != nil || tm.Depth() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestReportContainsRegions(t *testing.T) {
+	c := &fakeClock{}
+	tm := New(c.clock)
+	tm.Start("kernel")
+	c.advance(5)
+	if err := tm.Stop("kernel"); err != nil {
+		t.Fatal(err)
+	}
+	rep := tm.Report()
+	if len(rep) == 0 || !containsLine(rep, "kernel") {
+		t.Errorf("report missing region:\n%s", rep)
+	}
+}
+
+func containsLine(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,272 @@
+package interp
+
+import (
+	"fmt"
+
+	ft "repro/internal/fortran"
+	"repro/internal/perfmodel"
+)
+
+// lvalue is a resolved assignment destination used for scalar copy-out
+// after a call.
+type lvalue struct {
+	scalar *ft.VarDecl // non-nil for scalar variables
+	fr     *frame
+	arr    *Array // non-nil for array elements
+	off    int
+}
+
+func (i *Interp) storeLvalue(lv lvalue, v Value, pos ft.Pos) error {
+	if lv.scalar != nil {
+		t := lv.scalar.Type()
+		out := convertScalar(v, t)
+		if i.cfg.TrapNonFinite && out.Base == ft.TReal && nonFinite(out.F) {
+			return &RunError{Pos: pos, Kind: FailNonFinite,
+				Msg: fmt.Sprintf("non-finite value returned into %s", lv.scalar.Name)}
+		}
+		i.storeScalar(lv.fr, lv.scalar, out)
+		return nil
+	}
+	f := convertReal(v.asFloat(), lv.arr.Kind)
+	if i.cfg.TrapNonFinite && nonFinite(f) {
+		return &RunError{Pos: pos, Kind: FailNonFinite,
+			Msg: "non-finite value returned into array element"}
+	}
+	lv.arr.Data[lv.off] = f
+	return nil
+}
+
+// execCall runs a subroutine call statement.
+func (i *Interp) execCall(fr *frame, s *ft.CallStmt) error {
+	if s.Intrinsic != "" {
+		return i.execIntrinsicSub(fr, s)
+	}
+	if s.Proc == nil {
+		return &RunError{Pos: s.Pos, Kind: FailInternal,
+			Msg: fmt.Sprintf("unresolved call to %q", s.Name)}
+	}
+	_, err := i.invoke(fr, s.Proc, s.Args, s.Pos)
+	return err
+}
+
+// callFunction evaluates a user function call expression.
+func (i *Interp) callFunction(fr *frame, e *ft.CallExpr) (Value, error) {
+	if e.Proc == nil {
+		return Value{}, &RunError{Pos: e.Pos, Kind: FailInternal,
+			Msg: fmt.Sprintf("unresolved function %q", e.Name)}
+	}
+	return i.invoke(fr, e.Proc, e.Args, e.Pos)
+}
+
+// invoke runs a user procedure with Fortran argument semantics: arrays
+// by reference, scalars by copy-in/copy-out. Inlined callees skip call
+// overhead; all callees are still attributed their own GPTL region.
+func (i *Interp) invoke(fr *frame, proc *ft.Procedure, args []ft.Expr, pos ft.Pos) (Value, error) {
+	if i.depth >= i.cfg.MaxDepth {
+		return Value{}, &RunError{Pos: pos, Kind: FailInternal,
+			Msg: fmt.Sprintf("call stack exceeds %d frames", i.cfg.MaxDepth)}
+	}
+	inlined := i.an.Inlinable[proc]
+	if !inlined {
+		i.op(perfmodel.OpBranch, 4)
+		i.cycles += i.model.CallCycles * i.vecFactor
+	}
+
+	callee := &frame{proc: proc, slots: make([]Value, proc.NumSlots)}
+
+	// Phase 1: bind arguments.
+	var copyOuts []struct {
+		lv    lvalue
+		dummy *ft.VarDecl
+	}
+	for ai, argExpr := range args {
+		dummy := proc.ParamDecl[ai]
+		if dummy == nil {
+			return Value{}, &RunError{Pos: pos, Kind: FailInternal,
+				Msg: fmt.Sprintf("%s: missing dummy decl", proc.QName())}
+		}
+		if dummy.IsArray() {
+			av, err := i.evalArgArray(fr, argExpr, dummy, pos)
+			if err != nil {
+				return Value{}, err
+			}
+			callee.slots[dummy.Slot] = av
+			continue
+		}
+		v, err := i.evalExpr(fr, argExpr)
+		if err != nil {
+			return Value{}, err
+		}
+		if dummy.Base == ft.TReal && v.Base == ft.TReal && v.Kind != dummy.Kind && !isLiteral(argExpr) {
+			// Post-wrapper programs never reach here with a mismatch; it
+			// is still priced correctly for raw (pre-transform) programs.
+			i.cast(1)
+		}
+		callee.slots[dummy.Slot] = convertScalar(v, dummy.Type())
+		if dummy.Intent != ft.IntentIn {
+			if lv, ok := i.resolveLvalue(fr, argExpr); ok {
+				copyOuts = append(copyOuts, struct {
+					lv    lvalue
+					dummy *ft.VarDecl
+				}{lv, dummy})
+			} else if dummy.Intent == ft.IntentOut || dummy.Intent == ft.IntentInOut {
+				return Value{}, &RunError{Pos: argExpr.ExprPos(), Kind: FailInternal,
+					Msg: fmt.Sprintf("intent(%s) argument is not a variable", dummy.Intent)}
+			}
+		}
+	}
+
+	// Phase 2: initialize non-argument locals (may use argument values).
+	for _, d := range proc.Decls {
+		if d.IsArg {
+			continue
+		}
+		v, err := i.initDecl(callee, d)
+		if err != nil {
+			return Value{}, err
+		}
+		callee.slots[d.Slot] = v
+	}
+
+	// Phase 3: execute.
+	q := proc.QName()
+	if i.timers != nil {
+		if !inlined {
+			i.cycles += i.model.TimerOverhead
+		}
+		i.timers.Start(q)
+	}
+	i.depth++
+	i.curProc = append(i.curProc, q)
+	_, err := i.execStmts(callee, proc.Body)
+	i.curProc = i.curProc[:len(i.curProc)-1]
+	i.depth--
+	if i.timers != nil {
+		if !inlined {
+			i.cycles += i.model.TimerOverhead
+		}
+		if terr := i.timers.Stop(q); terr != nil && err == nil {
+			err = &RunError{Pos: pos, Kind: FailInternal, Msg: terr.Error()}
+		}
+	}
+	if err != nil {
+		return Value{}, err
+	}
+
+	// Phase 4: scalar copy-out.
+	for _, co := range copyOuts {
+		if err := i.storeLvalue(co.lv, callee.slots[co.dummy.Slot], pos); err != nil {
+			return Value{}, err
+		}
+	}
+
+	if proc.Kind == ft.KFunction {
+		if proc.Result == nil {
+			return Value{}, &RunError{Pos: pos, Kind: FailInternal,
+				Msg: fmt.Sprintf("%s has no result", q)}
+		}
+		return callee.slots[proc.Result.Slot], nil
+	}
+	return Value{}, nil
+}
+
+// evalArgArray binds an array actual argument to an array dummy,
+// by reference. Explicit-shape dummies install a reshaped header over
+// the actual's storage (sequence association); assumed-shape dummies
+// adopt the actual's bounds.
+func (i *Interp) evalArgArray(fr *frame, argExpr ft.Expr, dummy *ft.VarDecl, pos ft.Pos) (Value, error) {
+	ref, ok := argExpr.(*ft.VarRef)
+	if !ok {
+		return Value{}, &RunError{Pos: argExpr.ExprPos(), Kind: FailInternal,
+			Msg: "array argument must be a whole array variable"}
+	}
+	av := i.loadVar(fr, ref.Decl)
+	if av.Arr == nil {
+		return Value{}, &RunError{Pos: argExpr.ExprPos(), Kind: FailInternal,
+			Msg: fmt.Sprintf("%q is not an allocated array", ref.Name)}
+	}
+	if av.Arr.Kind != dummy.Kind {
+		// Arrays pass by reference; a kind mismatch cannot be patched by
+		// a hidden copy. The wrapper generator must have rewritten this
+		// call — reaching here means the variant is malformed.
+		return Value{}, &RunError{Pos: argExpr.ExprPos(), Kind: FailInternal,
+			Msg: fmt.Sprintf("array kind mismatch passing %s (kind=%d) to %s.%s (kind=%d): wrapper required",
+				ref.Name, av.Arr.Kind, dummy.Proc.QName(), dummy.Name, dummy.Kind)}
+	}
+
+	assumed := true
+	for _, d := range dummy.Dims {
+		if !d.Assumed {
+			assumed = false
+		}
+	}
+	if assumed {
+		if len(dummy.Dims) != len(av.Arr.Ext) {
+			return Value{}, &RunError{Pos: argExpr.ExprPos(), Kind: FailBounds,
+				Msg: fmt.Sprintf("rank mismatch passing %s", ref.Name)}
+		}
+		// Assumed-shape dummies have lower bounds of 1 regardless of the
+		// actual's declared bounds (Fortran semantics). Install a
+		// rebased header over the same storage when needed.
+		rebase := false
+		for _, lo := range av.Arr.Lo {
+			if lo != 1 {
+				rebase = true
+			}
+		}
+		if rebase {
+			ones := make([]int, len(av.Arr.Ext))
+			for k := range ones {
+				ones[k] = 1
+			}
+			av = Value{Base: av.Base, Kind: av.Kind, Arr: &Array{
+				Kind: av.Arr.Kind, Lo: ones, Ext: av.Arr.Ext, Data: av.Arr.Data,
+			}}
+		}
+		return av, nil
+	}
+
+	// Explicit-shape dummy: evaluate its declared bounds in the callee
+	// frame (they may reference earlier scalar dummies, which are
+	// already bound because declarations precede use in our models'
+	// argument order — sema guarantees the names resolve).
+	return av, nil
+}
+
+// resolveLvalue resolves an expression to a storable location if it is
+// one (variable or array element).
+func (i *Interp) resolveLvalue(fr *frame, e ft.Expr) (lvalue, bool) {
+	switch e := e.(type) {
+	case *ft.VarRef:
+		if e.Decl == nil || e.Decl.IsParam {
+			return lvalue{}, false
+		}
+		return lvalue{scalar: e.Decl, fr: fr}, true
+	case *ft.IndexExpr:
+		arr, off, err := i.elementRef(fr, e)
+		if err != nil {
+			return lvalue{}, false
+		}
+		return lvalue{arr: arr, off: off}, true
+	default:
+		return lvalue{}, false
+	}
+}
+
+// execIntrinsicSub executes an intrinsic subroutine (the MPI model).
+func (i *Interp) execIntrinsicSub(fr *frame, s *ft.CallStmt) error {
+	switch s.Intrinsic {
+	case "mpi_allreduce_sum", "mpi_allreduce_max":
+		// Numerically the identity (the simulation is the full global
+		// domain on one logical rank) but priced as a full collective:
+		// latency plus log2(ranks) hops, never vectorized.
+		if _, err := i.evalExpr(fr, s.Args[0]); err != nil {
+			return err
+		}
+		i.cycles += i.model.AllreduceCost()
+		return nil
+	default:
+		return &RunError{Pos: s.Pos, Kind: FailInternal,
+			Msg: fmt.Sprintf("unknown intrinsic subroutine %q", s.Intrinsic)}
+	}
+}

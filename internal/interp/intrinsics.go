@@ -1,0 +1,312 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	ft "repro/internal/fortran"
+	"repro/internal/perfmodel"
+)
+
+// evalIntrinsic evaluates an intrinsic function call, charging costs by
+// operation class. Results are computed in float64 and rounded to the
+// call's static result kind, matching how a kind-4 libm call rounds.
+func (i *Interp) evalIntrinsic(fr *frame, e *ft.CallExpr) (Value, error) {
+	name := e.Intrinsic
+	kind := e.Typ.Kind
+	if e.Typ.Base != ft.TReal {
+		kind = 4
+	}
+
+	// Array-argument intrinsics first (they must not evaluate the array
+	// as a scalar expression).
+	switch name {
+	case "size":
+		arr, err := i.argArray(fr, e.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if len(e.Args) == 2 {
+			dv, err := i.evalExpr(fr, e.Args[1])
+			if err != nil {
+				return Value{}, err
+			}
+			d := int(dv.asInt())
+			if d < 1 || d > len(arr.Ext) {
+				return Value{}, &RunError{Pos: e.Pos, Kind: FailBounds,
+					Msg: fmt.Sprintf("size dim %d out of range 1..%d", d, len(arr.Ext))}
+			}
+			return intValue(int64(arr.Ext[d-1])), nil
+		}
+		return intValue(int64(arr.Size())), nil
+	case "sum", "minval", "maxval":
+		arr, err := i.argArray(fr, e.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		return i.reduceArray(name, arr, e)
+	case "dot_product":
+		a, err := i.argArray(fr, e.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := i.argArray(fr, e.Args[1])
+		if err != nil {
+			return Value{}, err
+		}
+		return i.dotProduct(a, b, e)
+	}
+
+	args := make([]Value, len(e.Args))
+	for k, a := range e.Args {
+		v, err := i.evalExpr(fr, a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[k] = v
+	}
+
+	un := func(cls perfmodel.OpClass, f func(float64) float64) (Value, error) {
+		i.op(cls, kind)
+		return realValue(f(args[0].asFloat()), kind), nil
+	}
+
+	switch name {
+	case "abs":
+		if e.Typ.Base == ft.TInteger {
+			i.op(perfmodel.OpIntALU, 4)
+			v := args[0].I
+			if v < 0 {
+				v = -v
+			}
+			return intValue(v), nil
+		}
+		return un(perfmodel.OpSimple, math.Abs)
+	case "sqrt":
+		return un(perfmodel.OpSqrt, math.Sqrt)
+	case "exp":
+		return un(perfmodel.OpTrans, math.Exp)
+	case "log":
+		return un(perfmodel.OpTrans, math.Log)
+	case "log10":
+		return un(perfmodel.OpTrans, math.Log10)
+	case "sin":
+		return un(perfmodel.OpTrans, math.Sin)
+	case "cos":
+		return un(perfmodel.OpTrans, math.Cos)
+	case "tan":
+		return un(perfmodel.OpTrans, math.Tan)
+	case "asin":
+		return un(perfmodel.OpTrans, math.Asin)
+	case "acos":
+		return un(perfmodel.OpTrans, math.Acos)
+	case "atan":
+		return un(perfmodel.OpTrans, math.Atan)
+	case "sinh":
+		return un(perfmodel.OpTrans, math.Sinh)
+	case "cosh":
+		return un(perfmodel.OpTrans, math.Cosh)
+	case "tanh":
+		return un(perfmodel.OpTrans, math.Tanh)
+	case "aint":
+		return un(perfmodel.OpSimple, math.Trunc)
+	case "anint":
+		return un(perfmodel.OpSimple, math.Round)
+	case "atan2":
+		i.op(perfmodel.OpTrans, kind)
+		return realValue(math.Atan2(args[0].asFloat(), args[1].asFloat()), kind), nil
+	case "sign":
+		i.op(perfmodel.OpSimple, kind)
+		if e.Typ.Base == ft.TInteger {
+			m := args[0].I
+			if m < 0 {
+				m = -m
+			}
+			if args[1].I < 0 {
+				m = -m
+			}
+			return intValue(m), nil
+		}
+		m := math.Abs(args[0].asFloat())
+		if math.Signbit(args[1].asFloat()) {
+			m = -m
+		}
+		return realValue(m, kind), nil
+	case "mod":
+		if e.Typ.Base == ft.TInteger {
+			i.op(perfmodel.OpIntALU, 4)
+			if args[1].I == 0 {
+				return Value{}, &RunError{Pos: e.Pos, Kind: FailNonFinite, Msg: "mod by zero"}
+			}
+			return intValue(args[0].I % args[1].I), nil
+		}
+		i.op(perfmodel.OpDiv, kind)
+		return realValue(math.Mod(args[0].asFloat(), args[1].asFloat()), kind), nil
+	case "min", "max":
+		i.opN(perfmodel.OpSimple, kind, float64(len(args)-1), i.vecFactor)
+		if e.Typ.Base == ft.TInteger {
+			best := args[0].I
+			for _, v := range args[1:] {
+				if name == "min" && v.I < best || name == "max" && v.I > best {
+					best = v.I
+				}
+			}
+			return intValue(best), nil
+		}
+		best := args[0].asFloat()
+		for _, v := range args[1:] {
+			f := v.asFloat()
+			if name == "min" {
+				best = math.Min(best, f)
+			} else {
+				best = math.Max(best, f)
+			}
+		}
+		return realValue(best, kind), nil
+	case "int":
+		i.op(perfmodel.OpConv, 4)
+		return intValue(int64(math.Trunc(args[0].asFloat()))), nil
+	case "nint":
+		i.op(perfmodel.OpConv, 4)
+		return intValue(int64(math.Round(args[0].asFloat()))), nil
+	case "floor":
+		i.op(perfmodel.OpConv, 4)
+		return intValue(int64(math.Floor(args[0].asFloat()))), nil
+	case "real", "dble":
+		// Explicit conversions are real work unless the operand is a
+		// literal or already of the target kind.
+		at := e.Args[0].Type()
+		switch {
+		case isLiteral(e.Args[0]):
+		case at.Base == ft.TInteger:
+			i.op(perfmodel.OpConv, 4)
+		case at.Kind != kind:
+			i.cast(1)
+		}
+		return realValue(args[0].asFloat(), kind), nil
+	case "epsilon":
+		if kind == 4 {
+			return realValue(float64(nextAfter32(1)), 4), nil
+		}
+		return realValue(math.Nextafter(1, 2)-1, 8), nil
+	case "huge":
+		if kind == 4 {
+			return realValue(math.MaxFloat32, 4), nil
+		}
+		return realValue(math.MaxFloat64, 8), nil
+	case "tiny":
+		if kind == 4 {
+			return realValue(math.SmallestNonzeroFloat32*(1<<23), 4), nil
+		}
+		return realValue(2.2250738585072014e-308, 8), nil
+	case "isnan":
+		i.op(perfmodel.OpCmp, 8)
+		return logicalValue(math.IsNaN(args[0].asFloat())), nil
+	default:
+		return Value{}, &RunError{Pos: e.Pos, Kind: FailInternal,
+			Msg: fmt.Sprintf("unknown intrinsic %q", name)}
+	}
+}
+
+func nextAfter32(x float32) float32 {
+	return math.Nextafter32(x, 2) - x
+}
+
+// argArray resolves an intrinsic's array argument.
+func (i *Interp) argArray(fr *frame, e ft.Expr) (*Array, error) {
+	ref, ok := e.(*ft.VarRef)
+	if !ok {
+		return nil, &RunError{Pos: e.ExprPos(), Kind: FailInternal,
+			Msg: "intrinsic array argument must be a whole array"}
+	}
+	v := i.loadVar(fr, ref.Decl)
+	if v.Arr == nil {
+		return nil, &RunError{Pos: e.ExprPos(), Kind: FailInternal,
+			Msg: fmt.Sprintf("%q is not an allocated array", ref.Name)}
+	}
+	return v.Arr, nil
+}
+
+// reduceArray implements sum/minval/maxval, priced as a vectorized
+// reduction over the array's kind.
+func (i *Interp) reduceArray(name string, arr *Array, e *ft.CallExpr) (Value, error) {
+	n := arr.Size()
+	vf := i.model.VecFactor(arr.Kind, false, true)
+	i.opN(perfmodel.OpLoad, arr.Kind, float64(n), vf)
+	cls := perfmodel.OpAddSub
+	if name != "sum" {
+		cls = perfmodel.OpCmp
+	}
+	i.opN(cls, arr.Kind, float64(n), vf)
+	if n == 0 {
+		if name == "minval" {
+			return realValue(math.MaxFloat64, arr.Kind), nil
+		}
+		if name == "maxval" {
+			return realValue(-math.MaxFloat64, arr.Kind), nil
+		}
+		return realValue(0, arr.Kind), nil
+	}
+	switch name {
+	case "sum":
+		if arr.Kind == 4 {
+			var s float32
+			for _, v := range arr.Data {
+				s += float32(v)
+			}
+			return realValue(float64(s), 4), nil
+		}
+		var s float64
+		for _, v := range arr.Data {
+			s += v
+		}
+		return realValue(s, 8), nil
+	case "minval":
+		best := arr.Data[0]
+		for _, v := range arr.Data[1:] {
+			best = math.Min(best, v)
+		}
+		return realValue(best, arr.Kind), nil
+	default: // maxval
+		best := arr.Data[0]
+		for _, v := range arr.Data[1:] {
+			best = math.Max(best, v)
+		}
+		return realValue(best, arr.Kind), nil
+	}
+}
+
+// dotProduct implements dot_product with mixed-kind pricing: same-kind
+// inputs run as a vector reduction; mixed kinds run scalar with a cast
+// per element.
+func (i *Interp) dotProduct(a, b *Array, e *ft.CallExpr) (Value, error) {
+	if a.Size() != b.Size() {
+		return Value{}, &RunError{Pos: e.Pos, Kind: FailBounds,
+			Msg: fmt.Sprintf("dot_product size mismatch (%d vs %d)", a.Size(), b.Size())}
+	}
+	n := a.Size()
+	kind := e.Typ.Kind
+	if a.Kind == b.Kind {
+		vf := i.model.VecFactor(a.Kind, false, true)
+		i.opN(perfmodel.OpLoad, a.Kind, 2*float64(n), vf)
+		i.opN(perfmodel.OpMul, a.Kind, float64(n), vf)
+		i.opN(perfmodel.OpAddSub, a.Kind, float64(n), vf)
+	} else {
+		i.opN(perfmodel.OpLoad, 8, 2*float64(n), 1)
+		i.opN(perfmodel.OpMul, 8, float64(n), 1)
+		i.opN(perfmodel.OpAddSub, 8, float64(n), 1)
+		i.cast(int64(n))
+	}
+	if kind == 4 {
+		var s float32
+		for k := 0; k < n; k++ {
+			s += float32(a.Data[k]) * float32(b.Data[k])
+		}
+		return realValue(float64(s), 4), nil
+	}
+	var s float64
+	for k := 0; k < n; k++ {
+		s += a.Data[k] * b.Data[k]
+	}
+	return realValue(s, 8), nil
+}

@@ -1,0 +1,37 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// The MPAS-A correctness metric (§IV-A): worst relative error across the
+// cells of each frame, then an L2 norm over the time series.
+func Example() {
+	baseline := []float64{1.0, 2.0, 1.0, 2.0} // two frames of two cells
+	variant := []float64{1.0, 1.9, 1.1, 2.0}
+	perStep, _ := metrics.MaxRelErrPerFrame(baseline, variant, 2)
+	fmt.Printf("per-step worst error: %.3v\n", perStep)
+	fmt.Printf("L2 over time: %.3f\n", metrics.L2(perStep))
+	// Output:
+	// per-step worst error: [0.05 0.1]
+	// L2 over time: 0.112
+}
+
+func ExampleRelError() {
+	fmt.Println(metrics.RelError(2.0, 1.5))
+	fmt.Println(metrics.RelError(0, 0.25)) // zero baseline: absolute difference
+	// Output:
+	// 0.25
+	// 0.25
+}
+
+func ExampleMaxAbsPerRow() {
+	// The ADCIRC reduction: most extreme surface elevation per node over
+	// the run (two timesteps of three nodes).
+	series := []float64{0.2, -1.5, 0.3, -0.4, 1.1, 0.9}
+	extremes, _ := metrics.MaxAbsPerRow(series, 3)
+	fmt.Println(extremes)
+	// Output: [-0.4 -1.5 0.9]
+}

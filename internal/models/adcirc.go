@@ -1,0 +1,50 @@
+package models
+
+// ADCIRC builds the ADCIRC surrogate: a coastal transect driven by a
+// tidal boundary, whose wave-continuity (GWCE-style) implicit solve is
+// performed each step by an ITPACK-style preconditioned conjugate
+// gradient solver — the paper's itpackv hotspot (§IV-A).
+//
+// Structural properties carried over from the paper's analysis:
+//
+//   - peror (residual norm) is dominated by an MPI_ALLREDUCE, which the
+//     machine model never vectorizes, so reduced precision buys ~nothing
+//     there (criterion 1 fails for the most expensive procedure);
+//   - pjac applies an SSOR-style forward sweep whose loop-carried
+//     dependence defeats vectorization (the paper's "nested for loop
+//     [with] a data dependency");
+//   - jcg, the driver, assembles the system by subtracting a large
+//     hydrostatic background from the total head ((h0ref + tau) -
+//     h0ref). In 32-bit this cancellation quantizes to the background's
+//     ulp, the nearshore conveyance vanishes, and the solver converges
+//     quickly on the wrong, mostly decoupled system — the fast-but-wrong
+//     jcg cluster of Fig. 6. Keeping either h0ref or tau in 64-bit keeps
+//     the cancellation exact, so the search's 1-minimal set is a single
+//     jcg parameter, as in the paper;
+//   - late CG iterations in 32-bit underflow p·Ap to zero, making alpha
+//     non-finite — the Table II "Error" outcomes (29.7%).
+//
+// Correctness (§IV-A): most extreme water surface elevation per node
+// over the run, relative error per node, L2 across the grid;
+// threshold 1e-1 per the domain expert.
+func ADCIRC() *Model {
+	return &Model{
+		Name:        "adcirc",
+		Description: "ADCIRC surrogate: tidal transect with ITPACK CG solver, hotspot itpackv",
+		Paper:       "ADCIRC 40-day tidal run (Beaufort Inlet, NC), 128 ranks, hotspot itpackv (468 FP vars, ~12% CPU)",
+		Hotspot:     "itpackv",
+		MetricName:  "max water surface elevation per node, relative error, L2 over grid",
+		Source:      adcircSource,
+		Extract:     seriesExtract("adcirc_state.eta_series"),
+		Compare:     extremePerPointRelErrL2(adcircNodes),
+
+		ThresholdMode: ThresholdFixed,
+		Threshold:     1.0e-1,
+		NRuns:         1,
+		NoiseRel:      0.01,
+		BudgetEvals:   600,
+	}
+}
+
+// adcircNodes is the transect node count of the surrogate workload.
+const adcircNodes = 120

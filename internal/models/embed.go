@@ -1,0 +1,18 @@
+package models
+
+import _ "embed"
+
+// The surrogate model sources live as FT files under src/; they are the
+// "Fortran" the tuner parses, transforms, and runs.
+
+//go:embed src/funarc.ft
+var funarcSource string
+
+//go:embed src/mpas_a.ft
+var mpasSource string
+
+//go:embed src/adcirc.ft
+var adcircSource string
+
+//go:embed src/mom6.ft
+var mom6Source string

@@ -1,0 +1,29 @@
+package models
+
+// Funarc is the motivating example of §II-B: a hard-coded arc-length
+// calculation over fun(x) = x + Σ_k 2^-k sin(2^k x). The search space is
+// the paper's: eight variable declarations (s1, h, t1, t2, dppi in
+// funarc; x, t1, d1 in fun), two kinds, 2^8 = 256 variants, swept by
+// brute force for Fig. 2. The module-level `result` is excluded from
+// tuning, as in the paper ("all atoms are targeted except result") —
+// Atoms() takes the hotspot module's procedures' declarations.
+func Funarc() *Model {
+	return &Model{
+		Name:        "funarc",
+		Description: "arc-length motivating example (paper §II-B, Fig. 2)",
+		Paper:       "funarc [29], brute-force swept on a laptop-scale budget",
+		Hotspot:     "funarc_mod",
+		MetricName:  "relative error of the final arc length",
+		Source:      funarcSource,
+		Extract:     seriesExtract("funarc_out.result_series"),
+		Compare:     seriesRelErrL2(),
+
+		ThresholdMode: ThresholdFixed,
+		// The paper's walkthrough budget (4e-4) sits between its best
+		// mixed variant's error and the uniform 32-bit error; this value
+		// plays the same role for our workload's error landscape.
+		Threshold: 5.0e-7,
+		NRuns:     1,
+		NoiseRel:  0.01,
+	}
+}

@@ -1,0 +1,169 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	ft "repro/internal/fortran"
+	"repro/internal/transform"
+)
+
+func TestAllModelsParseAndAnalyze(t *testing.T) {
+	for _, m := range All() {
+		t.Run(m.Name, func(t *testing.T) {
+			prog, err := m.Parse()
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if prog.Main == nil {
+				t.Error("model has no main program")
+			}
+			atoms := transform.Atoms(prog, m.Hotspot)
+			if len(atoms) < 8 {
+				t.Errorf("only %d atoms in hotspot %q", len(atoms), m.Hotspot)
+			}
+			procs := m.HotspotProcs(prog)
+			if len(procs) == 0 {
+				t.Errorf("no hotspot procedures")
+			}
+			for _, q := range procs {
+				if !strings.HasPrefix(q, m.Hotspot+".") {
+					t.Errorf("hotspot proc %q outside module %q", q, m.Hotspot)
+				}
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"funarc", "mpas-a", "adcirc", "mom6"} {
+		m, err := ByName(name)
+		if err != nil || m.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := ByName("cesm"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestWeatherClimateSubset(t *testing.T) {
+	wc := WeatherClimate()
+	if len(wc) != 3 {
+		t.Fatalf("WeatherClimate returned %d models", len(wc))
+	}
+	for _, m := range wc {
+		if m.Name == "funarc" {
+			t.Error("funarc is not a weather/climate model")
+		}
+	}
+}
+
+// TestModelSourcesPrintRoundTrip: every bundled model source survives a
+// print/reparse round trip with identical atoms.
+func TestModelSourcesPrintRoundTrip(t *testing.T) {
+	for _, m := range All() {
+		t.Run(m.Name, func(t *testing.T) {
+			p1, err := m.Parse()
+			if err != nil {
+				t.Fatal(err)
+			}
+			src2 := ft.Print(p1)
+			p2, err := ft.Parse(src2)
+			if err != nil {
+				t.Fatalf("printed source does not reparse: %v", err)
+			}
+			if _, err := ft.Analyze(p2, ft.Options{}); err != nil {
+				t.Fatalf("printed source does not re-analyze: %v", err)
+			}
+			a1 := transform.Atoms(p1, m.Hotspot)
+			a2 := transform.Atoms(p2, m.Hotspot)
+			if len(a1) != len(a2) {
+				t.Fatalf("atom count changed through print: %d vs %d", len(a1), len(a2))
+			}
+			for i := range a1 {
+				if a1[i].QName != a2[i].QName {
+					t.Fatalf("atom %d renamed: %s vs %s", i, a1[i].QName, a2[i].QName)
+				}
+			}
+		})
+	}
+}
+
+// TestExpectedAtomCounts pins the search-space sizes the experiments
+// depend on; growing a model source should update these deliberately.
+func TestExpectedAtomCounts(t *testing.T) {
+	want := map[string]int{"funarc": 8, "mpas-a": 71, "adcirc": 34, "mom6": 44}
+	for _, m := range All() {
+		prog, err := m.Parse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := len(transform.Atoms(prog, m.Hotspot))
+		if got != want[m.Name] {
+			t.Errorf("%s: %d atoms, want %d (update the experiments if deliberate)", m.Name, got, want[m.Name])
+		}
+	}
+}
+
+// TestMetricPlumbing checks each model's Extract/Compare path on its own
+// baseline (identical series must yield zero error).
+func TestMetricPlumbing(t *testing.T) {
+	for _, m := range All() {
+		t.Run(m.Name, func(t *testing.T) {
+			prog, err := m.Parse()
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, _, err := runModel(t, m, prog, false)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			out, err := m.Extract(in)
+			if err != nil {
+				t.Fatalf("Extract: %v", err)
+			}
+			if len(out) == 0 {
+				t.Fatal("empty output series")
+			}
+			same, err := m.Compare(out, out)
+			if err != nil || same != 0 {
+				t.Errorf("Compare(x, x) = %v, %v; want 0", same, err)
+			}
+		})
+	}
+}
+
+// TestCompareRejectsNonFinite: a variant whose output went non-finite
+// (without tripping the runtime trap) must fail the metric, not pass it.
+func TestCompareRejectsNonFinite(t *testing.T) {
+	width := map[string]int{
+		"funarc": 1, "mpas-a": mpasCells, "adcirc": adcircNodes, "mom6": 4,
+	}
+	zero := 0.0
+	for _, m := range All() {
+		n := width[m.Name]
+		base := make([]float64, n)
+		bad := make([]float64, n)
+		for i := range base {
+			base[i] = float64(i + 1)
+			bad[i] = float64(i + 1)
+		}
+		bad[n/2] = 1 / zero // +Inf
+		if _, err := m.Compare(base, bad); err == nil {
+			t.Errorf("%s: non-finite variant output accepted", m.Name)
+		}
+	}
+}
+
+func TestThresholdDefaults(t *testing.T) {
+	if MPASA().ThresholdMode != ThresholdUniform32 || MPASA().ThresholdFactor != 0.1 {
+		t.Error("MPAS-A threshold mode changed")
+	}
+	if ADCIRC().Threshold != 1.0e-1 || MOM6().Threshold != 2.5e-1 {
+		t.Error("expert thresholds changed from the paper's values")
+	}
+	if MOM6().NRuns != 7 || MPASA().NRuns != 1 || ADCIRC().NRuns != 1 {
+		t.Error("Eq. (1) n choices changed from the paper's values")
+	}
+}

@@ -1,0 +1,47 @@
+package models
+
+// MOM6 builds the MOM6 surrogate: a layered ocean channel whose layer
+// thicknesses are advanced each step by an operator-split PPM
+// finite-volume continuity solver with zonal and meridional sweeps —
+// the paper's MOM_continuity_PPM hotspot (§IV-A).
+//
+// Structural properties carried over from the paper's analysis:
+//
+//   - zonal_mass_flux owns large working arrays (edge reconstructions,
+//     per-layer fluxes) and passes them to its callees; any kind split
+//     across those calls pays per-element array-copy wrappers every
+//     step — variant 58's "40% of CPU time is casting overhead";
+//   - zonal_flux_adjust solves, per column, a nonlinear equation
+//     matching the summed layer transport to the barotropic target
+//     with a Newton/bisection iteration whose tolerance sits near
+//     float64 roundoff. In 32-bit the residual plateaus above the
+//     tolerance and the iteration runs to its cap, 10-100x longer
+//     (the Fig. 6 flux_adjust slowdowns of 0.01-0.1x);
+//   - thickness must stay positive: low-precision flux imbalances
+//     drive h negative and the model hard-aborts, the mechanism behind
+//     Table II's 51.7% runtime-error rate;
+//   - ppm_reconstruction's limiter is if-converted (masked) but
+//     vectorizable, so there is real but modest 32-bit upside that the
+//     casting and convergence penalties swamp — the paper's
+//     "executable >98% 32-bit variants all slow down to 0.2-0.6x".
+//
+// Correctness (§IV-A): maximum CFL number per step, relative error, L2
+// over time; threshold 2.5e-1 per the domain expert.
+func MOM6() *Model {
+	return &Model{
+		Name:        "mom6",
+		Description: "MOM6 surrogate: layered PPM continuity channel, hotspot mom_continuity_ppm",
+		Paper:       "MOM6 benchmark config, 128 ranks, hotspot MOM_continuity_PPM (351 FP vars, ~9% CPU)",
+		Hotspot:     "mom_continuity_ppm",
+		MetricName:  "max CFL per step, relative error, L2 over time",
+		Source:      mom6Source,
+		Extract:     seriesExtract("mom_state.cfl_series"),
+		Compare:     seriesRelErrL2(),
+
+		ThresholdMode: ThresholdFixed,
+		Threshold:     2.5e-1,
+		NRuns:         7,
+		NoiseRel:      0.09,
+		BudgetEvals:   900,
+	}
+}

@@ -1,0 +1,372 @@
+package perfmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	ft "repro/internal/fortran"
+)
+
+// LoopDecision is the static vectorization verdict for one DO loop,
+// analogous to an entry in a compiler's vectorization report.
+type LoopDecision struct {
+	Vectorized bool
+	Kind       int     // element kind of the vector lanes (4 or 8)
+	Factor     float64 // per-op cost multiplier when vectorized
+	Masked     bool    // if-converted
+	Reduction  bool    // scalar reduction present
+	Reason     string  // why vectorization failed (when !Vectorized)
+}
+
+// Analysis holds the per-variant static analysis consumed by the
+// interpreter: loop vectorization decisions and procedure inlinability.
+// It must be recomputed after any precision transformation, because kind
+// changes alter both verdicts — the mechanism behind the paper's
+// observation that mixed precision "hindered compiler optimizations".
+type Analysis struct {
+	Model     *Model
+	Loops     map[*ft.DoStmt]LoopDecision
+	Inlinable map[*ft.Procedure]bool
+
+	loopOrder []*ft.DoStmt // deterministic report order
+	loopProc  map[*ft.DoStmt]*ft.Procedure
+}
+
+// Analyze runs the static analysis over an Analyzed program.
+func Analyze(prog *ft.Program, m *Model) *Analysis {
+	a := &Analysis{
+		Model:     m,
+		Loops:     make(map[*ft.DoStmt]LoopDecision),
+		Inlinable: make(map[*ft.Procedure]bool),
+		loopProc:  make(map[*ft.DoStmt]*ft.Procedure),
+	}
+	for _, p := range prog.AllProcs {
+		a.Inlinable[p] = a.inlinable(p)
+	}
+	for _, p := range prog.AllProcs {
+		ft.WalkStmts(p.Body, func(s ft.Stmt) bool {
+			if do, ok := s.(*ft.DoStmt); ok {
+				a.Loops[do] = a.analyzeLoop(do)
+				a.loopOrder = append(a.loopOrder, do)
+				a.loopProc[do] = p
+			}
+			return true
+		})
+	}
+	return a
+}
+
+// Loop returns the decision for a loop (zero value if unknown).
+func (a *Analysis) Loop(do *ft.DoStmt) LoopDecision { return a.Loops[do] }
+
+// inlinable mimics a compiler inlining heuristic: a procedure is
+// inlinable when its flattened body is small and free of loops and
+// further user calls. Tuner-generated wrappers always contain a call and
+// so are never inlinable — casting at a call boundary therefore defeats
+// inlining, as the paper observed for the MPAS-A flux functions.
+func (a *Analysis) inlinable(p *ft.Procedure) bool {
+	if p.Kind == ft.KProgram {
+		return false
+	}
+	count := 0
+	ok := true
+	ft.WalkStmts(p.Body, func(s ft.Stmt) bool {
+		count++
+		switch s.(type) {
+		case *ft.DoStmt, *ft.DoWhileStmt, *ft.CallStmt, *ft.PrintStmt, *ft.StopStmt:
+			ok = false
+		}
+		return ok
+	})
+	if !ok || count > a.Model.InlineMaxStmts {
+		return false
+	}
+	// No calls to user procedures in expressions, and no array locals
+	// (register-pressure proxy).
+	ft.WalkExprs(p.Body, func(e ft.Expr) bool {
+		if c, isCall := e.(*ft.CallExpr); isCall && c.Proc != nil {
+			ok = false
+		}
+		return ok
+	})
+	for _, d := range p.Decls {
+		if d.IsArray() && !d.IsArg {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// loopScan accumulates the evidence used to decide vectorization.
+type loopScan struct {
+	kinds      map[int]bool // real kinds appearing in the body
+	masked     bool
+	reduction  bool
+	fail       string
+	arrWrites  map[string][]string // array name -> canonical write index lists
+	arrReads   map[string][]string
+	scalarWr   map[string]bool // scalar names written
+	scalarRd   map[string]bool
+	depth      int
+	loopVar    string
+	inlineable map[*ft.Procedure]bool
+}
+
+func (sc *loopScan) failf(format string, args ...any) {
+	if sc.fail == "" {
+		sc.fail = fmt.Sprintf(format, args...)
+	}
+}
+
+func (a *Analysis) analyzeLoop(do *ft.DoStmt) LoopDecision {
+	if do.NoVector {
+		return LoopDecision{Reason: "novector directive"}
+	}
+	sc := &loopScan{
+		kinds:      make(map[int]bool),
+		arrWrites:  make(map[string][]string),
+		arrReads:   make(map[string][]string),
+		scalarWr:   make(map[string]bool),
+		scalarRd:   make(map[string]bool),
+		loopVar:    do.Var.Name,
+		inlineable: a.Inlinable,
+	}
+	sc.scanStmts(do.Body, false)
+	if sc.fail != "" {
+		return LoopDecision{Reason: sc.fail}
+	}
+
+	// Mixed real kinds in the body require per-iteration conversion
+	// instructions; treat as non-vectorizable (paper §II-A, §IV-B).
+	if sc.kinds[4] && sc.kinds[8] {
+		return LoopDecision{Reason: "mixed precision in loop body"}
+	}
+
+	// Loop-carried dependence: an array written at one index function of
+	// the loop variable and read at a different one.
+	names := make([]string, 0, len(sc.arrWrites))
+	for name := range sc.arrWrites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writes := sc.arrWrites[name]
+		for _, r := range sc.arrReads[name] {
+			for _, w := range writes {
+				if r != w {
+					return LoopDecision{Reason: fmt.Sprintf(
+						"loop-carried dependence on %s (%s vs %s)", name, w, r)}
+				}
+			}
+		}
+	}
+
+	// A scalar both read and written is a reduction (vectorizable at a
+	// discount); a scalar written then used as an index-independent
+	// temporary is treated the same way.
+	for name := range sc.scalarWr {
+		if sc.scalarRd[name] {
+			sc.reduction = true
+		}
+	}
+
+	kind := 8
+	switch {
+	case sc.kinds[4]:
+		kind = 4
+	case sc.kinds[8]:
+		kind = 8
+	}
+	return LoopDecision{
+		Vectorized: true,
+		Kind:       kind,
+		Masked:     sc.masked,
+		Reduction:  sc.reduction,
+		Factor:     a.Model.VecFactor(kind, sc.masked, sc.reduction),
+	}
+}
+
+func (sc *loopScan) scanStmts(body []ft.Stmt, inIf bool) {
+	for _, s := range body {
+		if sc.fail != "" {
+			return
+		}
+		switch s := s.(type) {
+		case *ft.AssignStmt:
+			sc.scanAssign(s)
+		case *ft.IfStmt:
+			sc.masked = true
+			sc.scanExpr(s.Cond, true)
+			sc.scanStmts(s.Then, true)
+			sc.scanStmts(s.Else, true)
+		case *ft.DoStmt:
+			sc.failf("contains inner loop")
+		case *ft.DoWhileStmt:
+			sc.failf("contains inner while loop")
+		case *ft.CallStmt:
+			sc.failf("subroutine call to %s", s.Name)
+		case *ft.ExitStmt:
+			sc.failf("early exit")
+		case *ft.CycleStmt:
+			// CYCLE is plain if-conversion; already counted as masked.
+			sc.masked = true
+		case *ft.ReturnStmt:
+			sc.failf("return inside loop")
+		case *ft.StopStmt:
+			sc.failf("stop inside loop")
+		case *ft.PrintStmt:
+			sc.failf("i/o inside loop")
+		}
+		_ = inIf
+	}
+}
+
+func (sc *loopScan) scanAssign(s *ft.AssignStmt) {
+	switch lhs := s.LHS.(type) {
+	case *ft.IndexExpr:
+		sc.noteKindType(lhs.Typ)
+		if key, uses := indexKey(lhs, sc.loopVar); uses {
+			sc.arrWrites[lhs.Arr.Name] = append(sc.arrWrites[lhs.Arr.Name], key)
+		}
+		for _, ix := range lhs.Indices {
+			sc.scanExpr(ix, false)
+		}
+	case *ft.VarRef:
+		sc.noteKindType(lhs.Typ)
+		if lhs.Typ.Rank > 0 {
+			sc.failf("whole-array assignment")
+			return
+		}
+		if lhs.Name != sc.loopVar {
+			sc.scalarWr[lhs.Name] = true
+		}
+	}
+	sc.scanExpr(s.RHS, true)
+}
+
+// indexKey renders an index list canonically and reports whether it uses
+// the loop variable.
+func indexKey(ix *ft.IndexExpr, loopVar string) (string, bool) {
+	parts := make([]string, len(ix.Indices))
+	uses := false
+	for i, e := range ix.Indices {
+		parts[i] = ft.ExprString(e)
+		ft.WalkExpr(e, func(sub ft.Expr) bool {
+			if vr, ok := sub.(*ft.VarRef); ok && vr.Name == loopVar {
+				uses = true
+			}
+			return true
+		})
+	}
+	return strings.Join(parts, ","), uses
+}
+
+func (sc *loopScan) noteKindType(t ft.Type) {
+	if t.Base == ft.TReal {
+		sc.kinds[t.Kind] = true
+	}
+}
+
+func (sc *loopScan) scanExpr(e ft.Expr, read bool) {
+	ft.WalkExpr(e, func(sub ft.Expr) bool {
+		switch sub := sub.(type) {
+		case *ft.VarRef:
+			// Kind-polymorphic constants (parameters) splat into the
+			// loop's working precision and do not mix kinds.
+			if !ft.ConstReal(sub) {
+				sc.noteKindType(sub.Typ)
+			}
+			if read && sub.Typ.Rank == 0 && sub.Name != sc.loopVar {
+				sc.scalarRd[sub.Name] = true
+			}
+		case *ft.RealLit:
+			// Literals are kind-polymorphic; they never mix kinds.
+		case *ft.IndexExpr:
+			sc.noteKindType(sub.Typ)
+			if key, uses := indexKey(sub, sc.loopVar); uses && read {
+				sc.arrReads[sub.Arr.Name] = append(sc.arrReads[sub.Arr.Name], key)
+			}
+		case *ft.BinExpr:
+			sc.noteKindType(sub.Typ)
+		case *ft.CallExpr:
+			sc.noteKindType(sub.Typ)
+			if sub.Proc != nil {
+				if !sc.inlineable[sub.Proc] {
+					sc.failf("call to non-inlinable %s", sub.Proc.QName())
+					return false
+				}
+				// The callee is inlined into the loop: its body's kinds
+				// join the loop body's.
+				sc.scanInlined(sub.Proc)
+			}
+		}
+		return true
+	})
+}
+
+// scanInlined folds an inlined callee's real kinds (declarations and
+// literals) into the loop scan.
+func (sc *loopScan) scanInlined(p *ft.Procedure) {
+	for _, d := range p.Decls {
+		if d.Base == ft.TReal && !d.IsParam {
+			sc.kinds[d.Kind] = true
+		}
+	}
+	ft.WalkExprs(p.Body, func(e ft.Expr) bool {
+		switch e := e.(type) {
+		case *ft.CallExpr:
+			if e.Proc != nil && !sc.inlineable[e.Proc] {
+				sc.failf("inlined %s calls non-inlinable %s", p.Name, e.Proc.QName())
+			}
+		case *ft.BinExpr:
+			sc.noteKindType(e.Typ)
+		}
+		return true
+	})
+	ft.WalkStmts(p.Body, func(s ft.Stmt) bool {
+		if _, ok := s.(*ft.IfStmt); ok {
+			sc.masked = true
+		}
+		return true
+	})
+}
+
+// VectorizedCount returns how many analyzed loops vectorized.
+func (a *Analysis) VectorizedCount() (vec, total int) {
+	for _, d := range a.Loops {
+		total++
+		if d.Vectorized {
+			vec++
+		}
+	}
+	return vec, total
+}
+
+// Report renders a compiler-style vectorization report, one line per
+// loop in deterministic order. The §V recommendations use such reports
+// to filter variants before dynamic evaluation.
+func (a *Analysis) Report() string {
+	var sb strings.Builder
+	for _, do := range a.loopOrder {
+		d := a.Loops[do]
+		proc := "?"
+		if p := a.loopProc[do]; p != nil {
+			proc = p.QName()
+		}
+		if d.Vectorized {
+			extra := ""
+			if d.Masked {
+				extra += " masked"
+			}
+			if d.Reduction {
+				extra += " reduction"
+			}
+			fmt.Fprintf(&sb, "%s:%d: loop vectorized (kind=%d, factor=%.3f%s)\n",
+				proc, do.Pos.Line, d.Kind, d.Factor, extra)
+		} else {
+			fmt.Fprintf(&sb, "%s:%d: loop not vectorized: %s\n", proc, do.Pos.Line, d.Reason)
+		}
+	}
+	return sb.String()
+}

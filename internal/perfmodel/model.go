@@ -1,0 +1,205 @@
+// Package perfmodel implements the analytic machine model that prices the
+// dynamic execution of FT programs in simulated cycles, standing in for
+// the Derecho nodes (2× AMD Milan 7763) used by the paper.
+//
+// The model reproduces the performance *mechanisms* the paper identifies
+// rather than hard-coding its outcomes:
+//
+//   - vector units execute twice as many 32-bit as 64-bit lanes per
+//     instruction, so uniformly low-precision vectorizable loops speed up;
+//   - mixed-precision operations require conversion instructions
+//     (casting overhead) and block vectorization;
+//   - conversion-laden call boundaries prevent function inlining;
+//   - loop-carried dependences and MPI_ALLREDUCE do not vectorize;
+//   - narrower values halve memory traffic.
+//
+// Static loop/inlining analysis lives in analysis.go; the interpreter
+// (internal/interp) consults both while executing each variant.
+package perfmodel
+
+import "fmt"
+
+// OpClass classifies dynamic operations for pricing.
+type OpClass int
+
+// Operation classes.
+const (
+	OpAddSub OpClass = iota
+	OpMul
+	OpDiv
+	OpSqrt
+	OpPow
+	OpTrans  // transcendental intrinsics: sin, exp, log, ...
+	OpSimple // abs, min, max, sign, aint, ...
+	OpCmp
+	OpIntALU
+	OpLoad  // array element load
+	OpStore // array element store
+	OpCast  // real kind conversion (scalar or one array element)
+	OpConv  // integer<->real conversion
+	OpBranch
+	OpLoopIter
+	NumOpClasses
+)
+
+var opNames = [NumOpClasses]string{
+	"addsub", "mul", "div", "sqrt", "pow", "trans", "simple", "cmp",
+	"intalu", "load", "store", "cast", "conv", "branch", "loopiter",
+}
+
+func (c OpClass) String() string {
+	if c >= 0 && int(c) < len(opNames) {
+		return opNames[c]
+	}
+	return fmt.Sprintf("OpClass(%d)", int(c))
+}
+
+// Model holds the machine parameters. Cost entries are cycles per scalar
+// operation, indexed by operand kind (index 0: 32-bit, index 1: 64-bit).
+type Model struct {
+	Name string
+
+	Cost [NumOpClasses][2]float64
+
+	// CallCycles is the overhead of a non-inlined procedure call
+	// (frame setup, argument marshalling, return).
+	CallCycles float64
+
+	// InlineMaxStmts bounds the flattened statement count of an
+	// inlinable procedure, mimicking compiler inlining heuristics.
+	InlineMaxStmts int
+
+	// MPI collective model: an allreduce costs Latency +
+	// PerRankHop*log2(Ranks) cycles and never vectorizes. Vendor MPI
+	// reductions do not use the wide vector units (paper §IV-B,
+	// citing Zhong et al.).
+	AllreduceLatency float64
+	AllreducePerHop  float64
+	Ranks            int
+
+	// Vector widths in lanes: 256-bit AVX2 pipes on Milan hold 8
+	// 32-bit or 4 64-bit lanes.
+	VecWidth32 int
+	VecWidth64 int
+
+	// Vectorization efficiencies (fraction of ideal lane speedup).
+	VecEff    float64 // plain countable loops
+	MaskedEff float64 // extra factor for if-converted (masked) loops
+	ReduceEff float64 // extra factor for reduction loops
+
+	// MemVecFloor bounds the vector discount for loads/stores: memory
+	// bandwidth does not scale with lane count the way ALU throughput
+	// does, so vectorized memory traffic is priced at no less than this
+	// fraction of its scalar cost.
+	MemVecFloor float64
+
+	// TimerOverhead is charged per GPTL Start/Stop event when
+	// profiling is enabled (paper reports 1-7% timing overhead).
+	TimerOverhead float64
+}
+
+// Default returns the model calibrated for this repository's experiments
+// (constants chosen once against the documented hardware cost ratios of
+// the AMD Milan generation; experiment code never adjusts them).
+func Default() *Model {
+	m := &Model{
+		Name:             "milan-avx2",
+		CallCycles:       30,
+		InlineMaxStmts:   8,
+		AllreduceLatency: 2500,
+		AllreducePerHop:  350,
+		Ranks:            128,
+		VecWidth32:       8,
+		VecWidth64:       4,
+		VecEff:           0.85,
+		MaskedEff:        0.70,
+		ReduceEff:        0.90,
+		MemVecFloor:      0.25,
+		TimerOverhead:    12,
+	}
+	set := func(c OpClass, k4, k8 float64) { m.Cost[c] = [2]float64{k4, k8} }
+	set(OpAddSub, 1.0, 1.0)
+	set(OpMul, 1.0, 1.0)
+	set(OpDiv, 7.0, 13.0)
+	set(OpSqrt, 9.0, 15.0)
+	set(OpPow, 25.0, 35.0)
+	set(OpTrans, 18.0, 28.0)
+	set(OpSimple, 1.0, 1.0)
+	set(OpCmp, 1.0, 1.0)
+	set(OpIntALU, 0.7, 0.7)
+	set(OpLoad, 1.0, 2.0)
+	set(OpStore, 1.0, 2.0)
+	set(OpCast, 3.0, 3.0)
+	set(OpConv, 1.0, 1.0)
+	set(OpBranch, 1.5, 1.5)
+	set(OpLoopIter, 1.0, 1.0)
+	return m
+}
+
+// AVX512 returns a machine model with 512-bit vector pipes (16 32-bit
+// or 8 64-bit lanes, as on Intel Sapphire Rapids or the Derecho
+// successor generation) and a slightly lower vector efficiency
+// (frequency licensing). The 32-vs-64-bit lane *ratio* — the mechanism
+// behind every speedup in the case study — is unchanged, which is why
+// the paper's findings are ISA-portable (checked by the machine
+// sensitivity experiment).
+func AVX512() *Model {
+	m := Default()
+	m.Name = "spr-avx512"
+	m.VecWidth32 = 16
+	m.VecWidth64 = 8
+	m.VecEff = 0.75
+	m.MemVecFloor = 0.20
+	return m
+}
+
+// kindIndex maps a real kind (4 or 8) to a cost table index. Integer
+// operations pass kind 4.
+func kindIndex(kind int) int {
+	if kind == 8 {
+		return 1
+	}
+	return 0
+}
+
+// OpCost returns the scalar cost of one operation of class c on operands
+// of the given real kind.
+func (m *Model) OpCost(c OpClass, kind int) float64 {
+	return m.Cost[c][kindIndex(kind)]
+}
+
+// AllreduceCost returns the cost of one MPI allreduce over the model's
+// configured communicator size.
+func (m *Model) AllreduceCost() float64 {
+	hops := 0.0
+	for r := 1; r < m.Ranks; r *= 2 {
+		hops++
+	}
+	return m.AllreduceLatency + m.AllreducePerHop*hops
+}
+
+// MemFactor clamps a vectorization factor for memory operations to the
+// bandwidth floor.
+func (m *Model) MemFactor(f float64) float64 {
+	if f < m.MemVecFloor {
+		return m.MemVecFloor
+	}
+	return f
+}
+
+// VecFactor returns the per-operation cost multiplier for a vectorized
+// loop of the given element kind: 1/(width*efficiency).
+func (m *Model) VecFactor(kind int, masked, reduction bool) float64 {
+	width := m.VecWidth64
+	if kind == 4 {
+		width = m.VecWidth32
+	}
+	eff := m.VecEff
+	if masked {
+		eff *= m.MaskedEff
+	}
+	if reduction {
+		eff *= m.ReduceEff
+	}
+	return 1.0 / (float64(width) * eff)
+}

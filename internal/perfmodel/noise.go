@@ -1,0 +1,69 @@
+package perfmodel
+
+import "math/rand"
+
+// Noise models run-to-run performance variability of a machine. The
+// paper measures a 1% relative standard deviation for MPAS-A and ADCIRC
+// baselines and 9% for MOM6, and defines the noise-tolerant speedup
+// metric of Eq. (1) (median of n runs) to compensate.
+//
+// Samples are right-skewed, as real runtime noise is: a run can be slowed
+// by interference but not sped up below the work's true cost.
+type Noise struct {
+	RelStdDev float64
+	rng       *rand.Rand
+}
+
+// NewNoise returns a seeded, deterministic noise source.
+func NewNoise(relStdDev float64, seed int64) *Noise {
+	return &Noise{RelStdDev: relStdDev, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample perturbs a true runtime t multiplicatively: t * (1 + |N(0, σ)|·c),
+// with c chosen so the relative standard deviation of samples is
+// approximately RelStdDev.
+func (n *Noise) Sample(t float64) float64 {
+	if n == nil || n.RelStdDev <= 0 {
+		return t
+	}
+	// For a half-normal |N(0,1)|, sd ≈ 0.6028 of the folded mean scale;
+	// dividing by that constant gives samples whose sd/mean ≈ RelStdDev.
+	const halfNormalSD = 0.60281
+	z := n.rng.NormFloat64()
+	if z < 0 {
+		z = -z
+	}
+	return t * (1 + n.RelStdDev*z/halfNormalSD)
+}
+
+// MedianOfN draws n noisy samples of t and returns their median — the
+// paper's Eq. (1) numerator/denominator estimator.
+func (n *Noise) MedianOfN(t float64, count int) float64 {
+	if count <= 1 {
+		return n.Sample(t)
+	}
+	samples := make([]float64, count)
+	for i := range samples {
+		samples[i] = n.Sample(t)
+	}
+	return Median(samples)
+}
+
+// Median returns the median of xs (xs is not modified).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := append([]float64(nil), xs...)
+	// Insertion sort: n is small (≤ 10 in all experiments).
+	for i := 1; i < len(tmp); i++ {
+		for j := i; j > 0 && tmp[j] < tmp[j-1]; j-- {
+			tmp[j], tmp[j-1] = tmp[j-1], tmp[j]
+		}
+	}
+	m := len(tmp) / 2
+	if len(tmp)%2 == 1 {
+		return tmp[m]
+	}
+	return (tmp[m-1] + tmp[m]) / 2
+}

@@ -1,0 +1,217 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/perfmodel"
+	"repro/internal/search"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/transform"
+)
+
+func TestRidgeRecoversLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	true_ := [FeatureCount]float64{0.5, 2, -1, 0.25, 3, -0.5}
+	r := NewRidge(1e-6)
+	for i := 0; i < 500; i++ {
+		var x [FeatureCount]float64
+		x[0] = 1
+		for j := 1; j < FeatureCount; j++ {
+			x[j] = rng.NormFloat64()
+		}
+		var y float64
+		for j := 0; j < FeatureCount; j++ {
+			y += true_[j] * x[j]
+		}
+		r.Observe(x, y+1e-9*rng.NormFloat64())
+	}
+	w, ok := r.Weights()
+	if !ok {
+		t.Fatal("singular system")
+	}
+	for j := 0; j < FeatureCount; j++ {
+		if math.Abs(w[j]-true_[j]) > 1e-3 {
+			t.Errorf("w[%d] = %g, want %g", j, w[j], true_[j])
+		}
+	}
+}
+
+func TestRidgeSingularWithoutData(t *testing.T) {
+	r := NewRidge(0)
+	if _, ok := r.Weights(); ok {
+		t.Error("empty model should be singular with zero regularization")
+	}
+	// Regularization makes it solvable (all-zero weights).
+	r2 := NewRidge(1.0)
+	if w, ok := r2.Weights(); !ok || w != ([FeatureCount]float64{}) {
+		t.Error("regularized empty model should give zero weights")
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if rho, err := SpearmanRank(a, a); err != nil || math.Abs(rho-1) > 1e-12 {
+		t.Errorf("identity rho = %v, %v", rho, err)
+	}
+	rev := []float64{5, 4, 3, 2, 1}
+	if rho, _ := SpearmanRank(a, rev); math.Abs(rho+1) > 1e-12 {
+		t.Errorf("reversed rho = %v", rho)
+	}
+	if _, err := SpearmanRank(a, a[:3]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := SpearmanRank([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("too-few samples accepted")
+	}
+	if _, err := SpearmanRank([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant input accepted")
+	}
+	// Ties share ranks.
+	if rho, err := SpearmanRank([]float64{1, 2, 2, 3}, []float64{10, 20, 20, 30}); err != nil || math.Abs(rho-1) > 1e-12 {
+		t.Errorf("tied identity rho = %v, %v", rho, err)
+	}
+}
+
+// Property: Spearman is invariant under strictly monotone transforms.
+func TestSpearmanMonotoneInvarianceProperty(t *testing.T) {
+	f := func(raw [8]float64, seed int64) bool {
+		xs := make([]float64, 0, 8)
+		seen := map[float64]bool{}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || seen[v] {
+				continue
+			}
+			seen[v] = true
+			xs = append(xs, math.Mod(v, 1e6))
+		}
+		if len(xs) < 4 {
+			return true
+		}
+		ys := rand.New(rand.NewSource(seed)).Perm(len(xs))
+		yf := make([]float64, len(xs))
+		for i, p := range ys {
+			yf[i] = float64(p)
+		}
+		r1, err1 := SpearmanRank(xs, yf)
+		// exp is strictly monotone; clamp magnitude first.
+		tx := make([]float64, len(xs))
+		for i, v := range xs {
+			tx[i] = math.Tanh(v/1e6) * 3
+		}
+		r2, err2 := SpearmanRank(tx, yf)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return math.Abs(r1-r2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPredictorRanksMPASVariants is the [42]-style experiment: train the
+// ridge model on half of a real MPAS-A search's evaluated variants and
+// check that it *ranks* the held-out variants' speedups usefully
+// (positive rank correlation well above chance).
+func TestPredictorRanksMPASVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full search")
+	}
+	m := models.MPASA()
+	tn, err := core.New(m, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tn.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := tn.Program()
+	ex := NewExtractor(prog, tn.Atoms(), perfmodel.Default())
+
+	type sample struct {
+		x [FeatureCount]float64
+		y float64
+	}
+	var all []sample
+	for _, ev := range res.Outcome.Log.Evals {
+		if ev.Status != search.StatusPass && ev.Status != search.StatusFail {
+			continue
+		}
+		x, err := ex.Extract(ev.Assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, sample{x, ev.Speedup})
+	}
+	if len(all) < 10 {
+		t.Fatalf("only %d usable samples", len(all))
+	}
+	half := len(all) / 2
+	r := NewRidge(1e-3)
+	for _, s := range all[:half] {
+		r.Observe(s.x, s.y)
+	}
+	var pred, actual []float64
+	for _, s := range all[half:] {
+		p, ok := r.Predict(s.x)
+		if !ok {
+			t.Fatal("singular predictor")
+		}
+		pred = append(pred, p)
+		actual = append(actual, s.y)
+	}
+	rho, err := SpearmanRank(pred, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("predictor rank correlation on held-out variants: %.3f (n=%d train, %d test)",
+		rho, half, len(all)-half)
+	if rho < 0.4 {
+		t.Errorf("rank correlation %.3f too weak to steer a search", rho)
+	}
+}
+
+func TestExtractorFeatures(t *testing.T) {
+	m := models.MPASA()
+	prog, err := m.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	atoms := transform.Atoms(prog, m.Hotspot)
+	ex := NewExtractor(prog, atoms, perfmodel.Default())
+
+	base, err := ex.Extract(transform.Uniform(atoms, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base[0] != 1 || base[1] != 0 || base[2] != 0 || base[4] != 0 {
+		t.Errorf("baseline features: %v", base)
+	}
+
+	u32, err := ex.Extract(transform.Uniform(atoms, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u32[1] != 1 {
+		t.Errorf("uniform-32 pct feature = %v", u32[1])
+	}
+	if u32[2] == 0 {
+		t.Error("uniform-32 must show mismatched boundary edges")
+	}
+
+	mixed := transform.Uniform(atoms, 4)
+	mixed["atm_time_integration.flux4.ua"] = 8
+	mf, err := ex.Extract(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf[4] >= 0 {
+		t.Errorf("mixed flux variant should lose vectorized loops, delta = %v", mf[4])
+	}
+}

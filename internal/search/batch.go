@@ -1,0 +1,75 @@
+package search
+
+import (
+	"sync"
+
+	"repro/internal/transform"
+)
+
+// batchEval evaluates a slice of assignments, at most parallelism at a
+// time, and records the results in the log in the *given order* —
+// regardless of completion order — so that a search's evaluation log is
+// identical for any degree of parallelism. This mirrors the paper's
+// artifact workflow, where T1 emits a batch of precision assignments and
+// T2/T3 transform/compile/execute them in parallel on dedicated nodes.
+//
+// Duplicate assignments within the batch, and assignments already in the
+// log, are evaluated only once. The evaluator must be safe for
+// concurrent use.
+func batchEval(log *Log, eval Evaluator, batch []transform.Assignment, parallelism int) []*Evaluation {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	results := make([]*Evaluation, len(batch))
+
+	// Identify the distinct, not-yet-cached assignments.
+	type job struct {
+		idx int // first batch index needing this evaluation
+		a   transform.Assignment
+	}
+	var jobs []job
+	firstByKey := make(map[string]int)
+	for i, a := range batch {
+		k := a.Key()
+		if _, cached := log.Lookup(a); cached {
+			continue
+		}
+		if _, seen := firstByKey[k]; seen {
+			continue
+		}
+		firstByKey[k] = i
+		jobs = append(jobs, job{idx: i, a: a})
+	}
+
+	fresh := make([]*Evaluation, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for ji := range jobs {
+		wg.Add(1)
+		go func(ji int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ev := eval.Evaluate(jobs[ji].a)
+			ev.Assignment = jobs[ji].a
+			fresh[ji] = ev
+		}(ji)
+	}
+	wg.Wait()
+
+	// Log in deterministic (batch) order, then resolve every slot.
+	for ji, ev := range fresh {
+		_ = jobs[ji]
+		log.Add(ev)
+	}
+	for i, a := range batch {
+		ev, ok := log.Lookup(a)
+		if !ok {
+			// Unreachable: every batch member is either cached or fresh.
+			ev = &Evaluation{Assignment: a, Status: StatusError, Detail: "internal: lost evaluation"}
+			log.Add(ev)
+		}
+		results[i] = ev
+	}
+	return results
+}

@@ -1,0 +1,110 @@
+package search
+
+// DDMin is Zeller & Hildebrandt's minimizing delta debugging algorithm
+// (ddmin), generic over item indices. It returns a 1-minimal subset of
+// items for which test returns true: removing any single element makes
+// the test fail. test must be true for the full set and monotone enough
+// in practice (ddmin tolerates non-monotone tests but then guarantees
+// only 1-minimality, not global minimality).
+//
+// The Precimonious search (§III-B) instantiates this with "interesting"
+// = "the variant that keeps exactly this subset in 64-bit passes the
+// correctness and performance criteria", giving the paper's O(n log n)
+// average / O(n^2) worst-case variant exploration.
+func DDMin(items []int, test func(subset []int) bool) []int {
+	cur := append([]int(nil), items...)
+	if len(cur) <= 1 {
+		return cur
+	}
+	n := 2
+	for len(cur) >= 2 {
+		chunks := split(cur, n)
+
+		// Reduce to subset: some chunk alone is interesting.
+		reduced := false
+		for _, c := range chunks {
+			if test(c) {
+				cur = c
+				n = 2
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			if len(cur) <= 1 {
+				break
+			}
+			continue
+		}
+
+		// Reduce to complement.
+		if n > 2 {
+			for i := range chunks {
+				comp := complement(cur, chunks[i])
+				if test(comp) {
+					cur = comp
+					n = maxInt(n-1, 2)
+					reduced = true
+					break
+				}
+			}
+			if reduced {
+				continue
+			}
+		}
+
+		// Increase granularity.
+		if n >= len(cur) {
+			break // 1-minimal
+		}
+		n = minInt(len(cur), 2*n)
+	}
+	return cur
+}
+
+// split partitions items into n nearly equal contiguous chunks.
+func split(items []int, n int) [][]int {
+	if n > len(items) {
+		n = len(items)
+	}
+	out := make([][]int, 0, n)
+	start := 0
+	for i := 0; i < n; i++ {
+		end := start + (len(items)-start)/(n-i)
+		if end > start {
+			out = append(out, items[start:end])
+		}
+		start = end
+	}
+	return out
+}
+
+// complement returns items minus chunk (chunk is a contiguous slice of
+// items, so identity comparison over values suffices).
+func complement(items, chunk []int) []int {
+	drop := make(map[int]bool, len(chunk))
+	for _, v := range chunk {
+		drop[v] = true
+	}
+	out := make([]int, 0, len(items)-len(chunk))
+	for _, v := range items {
+		if !drop[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,194 @@
+package search
+
+import (
+	"repro/internal/transform"
+)
+
+// Outcome is the result of a Precimonious search.
+type Outcome struct {
+	// Minimal is the 1-minimal set of atoms that must remain 64-bit.
+	Minimal []string
+	// Final is the corresponding variant's evaluation (all other atoms
+	// lowered), nil if even the all-64-bit configuration fails.
+	Final *Evaluation
+	// Log records every variant explored, in evaluation order.
+	Log *Log
+	// Converged is false if the search stopped on budget.
+	Converged bool
+}
+
+// Options configures the Precimonious search.
+type Options struct {
+	Criteria Criteria
+	// MaxEvaluations bounds distinct variant evaluations (0 =
+	// unlimited); the paper's 12-hour job limit plays this role for
+	// MOM6, whose search did not finish.
+	MaxEvaluations int
+	// Parallelism bounds concurrent variant evaluations within a batch
+	// (default 1). The search is *batched* as in the paper's artifact:
+	// at each delta-debugging step every candidate subset of the
+	// current granularity is generated (T1), then transformed and
+	// evaluated in parallel (T2/T3), and the outcomes drive the next
+	// step (T4). Results — including the evaluation log — are identical
+	// for every parallelism level; the evaluator must be safe for
+	// concurrent use when Parallelism > 1.
+	Parallelism int
+}
+
+// Precimonious runs the delta-debugging-based FPPT search of §III-B over
+// the given atoms: it finds a 1-minimal set of variables that must stay
+// in 64-bit precision, lowering everything else to 32-bit, subject to
+// the correctness and performance criteria. Every distinct variant
+// evaluated is recorded in the returned Log (the data behind Table II
+// and Figures 5-7).
+func Precimonious(eval Evaluator, atoms []transform.Atom, opts Options) *Outcome {
+	log := NewLog()
+	out := &Outcome{Log: log, Converged: true}
+	if len(atoms) == 0 {
+		return out
+	}
+
+	remaining := func() int {
+		if opts.MaxEvaluations == 0 {
+			return 1 << 30
+		}
+		return opts.MaxEvaluations - len(log.Evals)
+	}
+
+	// lowerAllBut builds the assignment keeping exactly `high` in
+	// 64-bit precision.
+	lowerAllBut := func(high []int) transform.Assignment {
+		keep := make(map[int]bool, len(high))
+		for _, i := range high {
+			keep[i] = true
+		}
+		a := make(transform.Assignment, len(atoms))
+		for i, at := range atoms {
+			if keep[i] {
+				a[at.QName] = 8
+			} else {
+				a[at.QName] = 4
+			}
+		}
+		return a
+	}
+
+	// runBatch evaluates the candidates' assignments (budget-capped)
+	// and returns per-candidate acceptance. Candidates beyond the
+	// budget are reported as not accepted and flip Converged off.
+	runBatch := func(cands [][]int) []bool {
+		ok := make([]bool, len(cands))
+		n := len(cands)
+		if r := remaining(); n > r {
+			n = r
+			out.Converged = false
+		}
+		if n <= 0 {
+			return ok
+		}
+		batch := make([]transform.Assignment, n)
+		for i := 0; i < n; i++ {
+			batch[i] = lowerAllBut(cands[i])
+		}
+		evs := batchEval(log, eval, batch, opts.Parallelism)
+		for i, ev := range evs {
+			ok[i] = opts.Criteria.Accept(ev)
+		}
+		return ok
+	}
+
+	idx := make([]int, len(atoms))
+	for i := range idx {
+		idx[i] = i
+	}
+
+	// The all-32-bit variant is the empty "stay-high" set: if it
+	// passes, the minimal set is empty. The all-64-bit configuration
+	// *is* the baseline and satisfies the criteria by definition; it is
+	// evaluated anyway so the log records it (as the paper's searches
+	// do).
+	first := runBatch([][]int{nil, idx})
+	if first[0] {
+		out.Minimal = nil
+		out.Final, _ = log.Lookup(lowerAllBut(nil))
+		return out
+	}
+
+	// Batched ddmin (Zeller & Hildebrandt) over the stay-high set.
+	cur := idx
+	n := 2
+	for len(cur) >= 2 && out.Converged {
+		chunks := split(cur, n)
+		// Candidate order: each chunk alone, then each complement.
+		var cands [][]int
+		cands = append(cands, chunks...)
+		if n > 2 {
+			for i := range chunks {
+				cands = append(cands, complement(cur, chunks[i]))
+			}
+		}
+		accepted := runBatch(cands)
+
+		pick := -1
+		for i, ok := range accepted {
+			if ok {
+				pick = i
+				break
+			}
+		}
+		switch {
+		case pick >= 0 && pick < len(chunks):
+			cur = cands[pick]
+			n = 2
+		case pick >= 0:
+			cur = cands[pick]
+			n = maxInt(n-1, 2)
+		default:
+			if n >= len(cur) {
+				// 1-minimal.
+				out.Minimal = atomNames(atoms, cur)
+				if ev, okc := log.Lookup(lowerAllBut(cur)); okc {
+					out.Final = ev
+				}
+				return out
+			}
+			n = minInt(len(cur), 2*n)
+		}
+	}
+	out.Minimal = atomNames(atoms, cur)
+	if ev, okc := log.Lookup(lowerAllBut(cur)); okc {
+		out.Final = ev
+	}
+	return out
+}
+
+func atomNames(atoms []transform.Atom, idx []int) []string {
+	out := make([]string, len(idx))
+	for i, k := range idx {
+		out[i] = atoms[k].QName
+	}
+	return out
+}
+
+// BruteForce evaluates all 2^n variants over atoms (used for funarc's
+// Fig. 2; n must be small). Atom i is lowered in variant v when bit i of
+// v is set. Variants are evaluated with the given parallelism but logged
+// in enumeration order.
+func BruteForce(eval Evaluator, atoms []transform.Atom, parallelism int) *Log {
+	log := NewLog()
+	n := len(atoms)
+	batch := make([]transform.Assignment, 1<<uint(n))
+	for v := range batch {
+		a := make(transform.Assignment, n)
+		for i, at := range atoms {
+			if v&(1<<uint(i)) != 0 {
+				a[at.QName] = 4
+			} else {
+				a[at.QName] = 8
+			}
+		}
+		batch[v] = a
+	}
+	batchEval(log, eval, batch, parallelism)
+	return log
+}

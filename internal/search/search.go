@@ -1,0 +1,172 @@
+// Package search implements the design-space exploration of the paper's
+// tuning cycle (§III-B): the delta-debugging-based Precimonious search
+// for a 1-minimal mixed-precision variant, plus the brute-force sweep
+// used for the funarc motivating example (§II-B).
+package search
+
+import (
+	"fmt"
+
+	"repro/internal/transform"
+)
+
+// Status classifies a variant evaluation into the buckets of Table II.
+type Status int
+
+// Variant outcomes.
+const (
+	StatusPass    Status = iota // ran to completion, within the error threshold
+	StatusFail                  // ran to completion, error above threshold
+	StatusTimeout               // exceeded 3x the baseline budget
+	StatusError                 // runtime failure (non-finite values, bounds, ...)
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusPass:
+		return "pass"
+	case StatusFail:
+		return "fail"
+	case StatusTimeout:
+		return "timeout"
+	case StatusError:
+		return "error"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Evaluation is the outcome of dynamically evaluating one variant
+// (stage T3 of the tuning cycle).
+type Evaluation struct {
+	Assignment transform.Assignment
+	Status     Status
+	Speedup    float64 // Eq. (1); valid when the run completed
+	RelError   float64 // correctness metric relative error
+	Lowered    int     // atoms at 32-bit
+	TotalAtoms int
+	Detail     string // failure detail, wrapper counts, etc.
+	Index      int    // evaluation order (1-based), set by the searches
+}
+
+// Pct32 is the percentage of atoms at 32-bit (the x-axis of Fig. 5).
+func (e *Evaluation) Pct32() float64 {
+	if e.TotalAtoms == 0 {
+		return 0
+	}
+	return 100 * float64(e.Lowered) / float64(e.TotalAtoms)
+}
+
+// Evaluator evaluates a precision assignment. Implementations transform,
+// compile (analyze), and run the variant, returning its measured
+// performance and correctness. Evaluations must be deterministic unless
+// the underlying machine model injects seeded noise.
+type Evaluator interface {
+	Evaluate(a transform.Assignment) *Evaluation
+}
+
+// Criteria decides whether an evaluation "passes" the search: correct
+// within the threshold and at least as fast as required (the paper
+// rejects variants less performant than the baseline).
+type Criteria struct {
+	MaxRelError float64
+	MinSpeedup  float64
+}
+
+// Accept reports whether ev satisfies the criteria.
+func (c Criteria) Accept(ev *Evaluation) bool {
+	return ev.Status == StatusPass && ev.RelError <= c.MaxRelError && ev.Speedup >= c.MinSpeedup
+}
+
+// Log records every variant explored by a search, for Table II and
+// Figures 5–7.
+type Log struct {
+	Evals []*Evaluation
+	cache map[string]*Evaluation
+}
+
+// NewLog returns an empty evaluation log.
+func NewLog() *Log {
+	return &Log{cache: make(map[string]*Evaluation)}
+}
+
+// Lookup returns a prior evaluation of an identical assignment, if any.
+func (l *Log) Lookup(a transform.Assignment) (*Evaluation, bool) {
+	ev, ok := l.cache[a.Key()]
+	return ev, ok
+}
+
+// Add records an evaluation.
+func (l *Log) Add(ev *Evaluation) {
+	ev.Index = len(l.Evals) + 1
+	l.Evals = append(l.Evals, ev)
+	l.cache[ev.Assignment.Key()] = ev
+}
+
+// Counts tallies outcomes as in Table II.
+func (l *Log) Counts() (total int, pass, fail, timeout, errs int) {
+	for _, ev := range l.Evals {
+		total++
+		switch ev.Status {
+		case StatusPass:
+			pass++
+		case StatusFail:
+			fail++
+		case StatusTimeout:
+			timeout++
+		case StatusError:
+			errs++
+		}
+	}
+	return
+}
+
+// Best returns the accepted evaluation with the highest speedup, or nil.
+func (l *Log) Best(c Criteria) *Evaluation {
+	var best *Evaluation
+	for _, ev := range l.Evals {
+		if !c.Accept(ev) {
+			continue
+		}
+		if best == nil || ev.Speedup > best.Speedup {
+			best = ev
+		}
+	}
+	return best
+}
+
+// Frontier returns the evaluations on the speedup-error optimal frontier
+// (no other completed variant is both faster and more accurate), sorted
+// by increasing error. This is the "optimal frontier" of Fig. 2/5.
+func (l *Log) Frontier() []*Evaluation {
+	var done []*Evaluation
+	for _, ev := range l.Evals {
+		if ev.Status == StatusPass || ev.Status == StatusFail {
+			done = append(done, ev)
+		}
+	}
+	var out []*Evaluation
+	for _, a := range done {
+		dominated := false
+		for _, b := range done {
+			if b == a {
+				continue
+			}
+			if b.Speedup >= a.Speedup && b.RelError <= a.RelError &&
+				(b.Speedup > a.Speedup || b.RelError < a.RelError) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	// Insertion sort by error (frontiers are small).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].RelError < out[j-1].RelError; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

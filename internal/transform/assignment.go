@@ -1,0 +1,157 @@
+// Package transform generates mixed-precision program variants by
+// source-level (AST-level) transformation, reproducing the paper's
+// bespoke Fortran tool (§III-C):
+//
+//   - Apply clones the baseline AST and rewrites the kinds of the
+//     targeted real variable declarations (the search atoms of §III-A);
+//   - wrapper generation restores the Fortran rule that real kinds
+//     convert only through assignment, by synthesizing
+//     "*_wrapper_4_to_8"-style shim procedures at every mismatched call
+//     site (paper Fig. 4) and maintaining the matching-edge invariant on
+//     the parameter-passing flow graph;
+//   - taint.go implements the taint-style program reduction the paper
+//     uses to feed ROSE only the minimal subset of the model.
+package transform
+
+import (
+	"fmt"
+	"sort"
+
+	ft "repro/internal/fortran"
+)
+
+// Atom is one tunable search atom: a real variable declaration.
+type Atom struct {
+	QName string
+	Decl  *ft.VarDecl
+}
+
+// Atoms returns the search atoms of an analyzed program: every real,
+// non-parameter variable declaration, optionally restricted to the named
+// modules (the tuned hotspot). Order is deterministic (declaration order).
+func Atoms(prog *ft.Program, modules ...string) []Atom {
+	want := make(map[string]bool, len(modules))
+	for _, m := range modules {
+		want[m] = true
+	}
+	var out []Atom
+	for _, d := range ft.RealDecls(prog) {
+		if len(modules) > 0 {
+			mod := d.InMod
+			if mod == nil || !want[mod.Name] {
+				continue
+			}
+		}
+		out = append(out, Atom{QName: d.QName(), Decl: d})
+	}
+	return out
+}
+
+// Assignment maps atom qualified names to real kinds (4 or 8). Atoms not
+// present keep their baseline kind.
+type Assignment map[string]int
+
+// Uniform builds an assignment giving every atom the same kind.
+func Uniform(atoms []Atom, kind int) Assignment {
+	a := make(Assignment, len(atoms))
+	for _, at := range atoms {
+		a[at.QName] = kind
+	}
+	return a
+}
+
+// Lowered counts atoms assigned kind 4.
+func (a Assignment) Lowered() int {
+	n := 0
+	for _, k := range a {
+		if k == 4 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// Key renders the assignment canonically, for caching identical variants.
+func (a Assignment) Key() string {
+	names := make([]string, 0, len(a))
+	for n, k := range a {
+		if k == 4 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	out := ""
+	for _, n := range names {
+		out += n + ";"
+	}
+	return out
+}
+
+// Result is a generated variant.
+type Result struct {
+	Prog     *ft.Program
+	Info     *ft.Info
+	Wrappers int // wrapper procedures inserted
+}
+
+// Apply generates the mixed-precision variant of base (an analyzed
+// program) described by a: it deep-clones the AST, rewrites declaration
+// kinds, inserts parameter-passing wrappers where the new kinds violate
+// Fortran's conversion rules, and re-analyzes strictly. base is never
+// mutated, so variant generation may run in parallel.
+func Apply(base *ft.Program, a Assignment) (*Result, error) {
+	variant := ft.Clone(base)
+	// Clone strips analysis; re-analyze to rebuild QNames.
+	info, err := ft.Analyze(variant, ft.Options{AllowKindMismatch: true})
+	if err != nil {
+		return nil, fmt.Errorf("transform: clone analysis: %w", err)
+	}
+	byName := make(map[string]*ft.VarDecl)
+	for _, d := range ft.RealDecls(variant) {
+		byName[d.QName()] = d
+	}
+	for q, kind := range a {
+		d, ok := byName[q]
+		if !ok {
+			return nil, fmt.Errorf("transform: assignment names unknown atom %q", q)
+		}
+		if kind != 4 && kind != 8 {
+			return nil, fmt.Errorf("transform: atom %q assigned unsupported kind %d", q, kind)
+		}
+		d.Kind = kind
+	}
+	// Re-analyze tolerantly to discover kind mismatches at call sites,
+	// then patch them with wrappers until the flow graph invariant holds.
+	info, err = ft.Analyze(variant, ft.Options{AllowKindMismatch: true})
+	if err != nil {
+		return nil, fmt.Errorf("transform: variant analysis: %w", err)
+	}
+	wrappers, err := InsertWrappers(variant, info)
+	if err != nil {
+		return nil, err
+	}
+	// Final strict analysis: the variant must now be a legal program.
+	info, err = ft.Analyze(variant, ft.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("transform: variant is malformed after wrapper insertion: %w", err)
+	}
+	return &Result{Prog: variant, Info: info, Wrappers: wrappers}, nil
+}
+
+// KindOf reports the effective kind of atom q under a, given its
+// baseline declaration kind.
+func (a Assignment) KindOf(q string, baseline int) int {
+	if k, ok := a[q]; ok {
+		return k
+	}
+	return baseline
+}

@@ -1,0 +1,135 @@
+package transform
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	ft "repro/internal/fortran"
+	"repro/internal/interp"
+	"repro/internal/perfmodel"
+)
+
+// TestApplyPropertyAnyAssignmentLegal: the central robustness property of
+// the variant generator — *every* one of the 2^n precision assignments
+// over funarc's atoms produces a variant that (a) passes strict semantic
+// analysis, (b) runs to completion under the interpreter with no
+// internal errors, and (c) is deterministic (same cycles on re-run).
+// This is the property the paper's ROSE-based tool lacked ("ROSE often
+// generates uncompilable source"), which forced their taint-based
+// reduction workaround.
+func TestApplyPropertyAnyAssignmentLegal(t *testing.T) {
+	prog := analyzed(t, funarcSrc)
+	atoms := Atoms(prog)
+	machine := perfmodel.Default()
+
+	run := func(p *ft.Program) (float64, error) {
+		in, err := interp.New(p, interp.Config{Model: machine, TrapNonFinite: true})
+		if err != nil {
+			return 0, err
+		}
+		res, err := in.Run()
+		if err != nil {
+			return 0, err
+		}
+		return res.Cycles, nil
+	}
+
+	f := func(mask uint16) bool {
+		a := make(Assignment, len(atoms))
+		for i, at := range atoms {
+			if mask&(1<<uint(i%16)) != 0 {
+				a[at.QName] = 4
+			} else {
+				a[at.QName] = 8
+			}
+		}
+		v, err := Apply(prog, a)
+		if err != nil {
+			t.Logf("mask %04x: transform failed: %v", mask, err)
+			return false
+		}
+		c1, err := run(v.Prog)
+		if err != nil {
+			var re *interp.RunError
+			if errors.As(err, &re) && re.Kind == interp.FailInternal {
+				t.Logf("mask %04x: internal interpreter error: %v", mask, err)
+				return false
+			}
+			// Numerical failures (traps) are legitimate outcomes.
+			return true
+		}
+		// Determinism: regenerate and re-run.
+		v2, err := Apply(prog, a)
+		if err != nil {
+			return false
+		}
+		c2, err := run(v2.Prog)
+		if err != nil {
+			return false
+		}
+		return c1 == c2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestApplyPropertyWrapperInvariant: after Apply, the flow graph of any
+// random variant satisfies the matching-edge invariant of §III-C.
+func TestApplyPropertyWrapperInvariant(t *testing.T) {
+	prog := analyzed(t, flowSrc)
+	atoms := Atoms(prog)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		a := make(Assignment, len(atoms))
+		for _, at := range atoms {
+			if rng.Intn(2) == 0 {
+				a[at.QName] = 4
+			} else {
+				a[at.QName] = 8
+			}
+		}
+		v, err := Apply(prog, a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		g := BuildFlowGraph(v.Prog, v.Info)
+		if mm := g.MismatchedEdges(); len(mm) != 0 {
+			t.Fatalf("trial %d: %d mismatched edges survive wrapper insertion:\n%s",
+				trial, len(mm), g.String())
+		}
+	}
+}
+
+// TestApplyPropertyIdempotentKinds: applying an assignment and reading
+// the variant's declarations back yields exactly the requested kinds.
+func TestApplyPropertyIdempotentKinds(t *testing.T) {
+	prog := analyzed(t, funarcSrc)
+	atoms := Atoms(prog)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		a := make(Assignment, len(atoms))
+		for _, at := range atoms {
+			if rng.Intn(2) == 0 {
+				a[at.QName] = 4
+			} else {
+				a[at.QName] = 8
+			}
+		}
+		v, err := Apply(prog, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]int{}
+		for _, d := range ft.RealDecls(v.Prog) {
+			got[d.QName()] = d.Kind
+		}
+		for q, want := range a {
+			if got[q] != want {
+				t.Fatalf("trial %d: %s kind %d, want %d", trial, q, got[q], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package transform
+
+import (
+	"fmt"
+
+	ft "repro/internal/fortran"
+)
+
+// ReduceStats reports what the taint-based program reduction kept.
+type ReduceStats struct {
+	TotalStmts  int
+	KeptStmts   int
+	TotalProcs  int
+	KeptProcs   int
+	TotalDecls  int
+	KeptDecls   int
+	TaintedVars int
+	Iterations  int
+}
+
+func (s ReduceStats) String() string {
+	return fmt.Sprintf("reduced to %d/%d stmts, %d/%d procs, %d/%d decls (%d tainted vars, %d passes)",
+		s.KeptStmts, s.TotalStmts, s.KeptProcs, s.TotalProcs,
+		s.KeptDecls, s.TotalDecls, s.TaintedVars, s.Iterations)
+}
+
+// Reduce implements the taint-analysis-style program reduction of
+// §III-C: apply a taint to the target floating-point variables and
+// iterate propagation rules to a fixed point, keeping only
+//
+//  1. the statements declaring target variables,
+//  2. the statements passing target variables as arguments to
+//     procedure calls,
+//  3. statements defining symbols referenced by statements kept under
+//     1, 2, and (recursively) 3,
+//  4. the USE statements required by kept symbols, and
+//  5. the enclosing program structures (modules, procedures).
+//
+// The paper uses this to shrink model sources below ROSE's language
+// support limits before parsing; here it also powers `prose reduce`.
+// Note the direction of rule 3: a statement is kept when it *defines* a
+// needed symbol, not merely because it reads a tainted one — that is
+// what keeps the reduction minimal. The input program must be analyzed;
+// it is not modified.
+func Reduce(prog *ft.Program, targets []string) (*ft.Program, *ReduceStats, error) {
+	target := make(map[*ft.VarDecl]bool)
+	want := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		want[t] = true
+	}
+	found := 0
+	for _, d := range ft.RealDecls(prog) {
+		if want[d.QName()] {
+			target[d] = true
+			found++
+		}
+	}
+	if found != len(targets) {
+		return nil, nil, fmt.Errorf("transform: %d of %d reduction targets not found", len(targets)-found, len(targets))
+	}
+
+	stats := &ReduceStats{}
+	needed := make(map[*ft.VarDecl]bool, len(target)) // symbols whose definitions must survive
+	for d := range target {
+		needed[d] = true
+	}
+	keptStmt := make(map[ft.Stmt]bool)
+	keptProc := make(map[*ft.Procedure]bool)
+	changed := false
+
+	// keepProc keeps a procedure and marks its interface symbols needed,
+	// so the statements computing its outputs survive (rule 3 across
+	// procedure boundaries).
+	keepProc := func(p *ft.Procedure) {
+		if keptProc[p] {
+			return
+		}
+		keptProc[p] = true
+		changed = true
+		for _, d := range p.ParamDecl {
+			if d != nil && !needed[d] {
+				needed[d] = true
+			}
+		}
+		if p.Result != nil {
+			needed[p.Result] = true
+		}
+	}
+
+	need := func(d *ft.VarDecl) {
+		if d != nil && !needed[d] {
+			needed[d] = true
+			changed = true
+		}
+	}
+
+	// needExpr marks every symbol referenced by e as needed and keeps
+	// procedures referenced through function calls.
+	var needExpr func(e ft.Expr)
+	needExpr = func(e ft.Expr) {
+		ft.WalkExpr(e, func(sub ft.Expr) bool {
+			switch sub := sub.(type) {
+			case *ft.VarRef:
+				need(sub.Decl)
+			case *ft.IndexExpr:
+				need(sub.Arr.Decl)
+			case *ft.CallExpr:
+				if sub.Proc != nil {
+					keepProc(sub.Proc)
+				}
+			}
+			return true
+		})
+	}
+
+	declOf := func(e ft.Expr) *ft.VarDecl {
+		switch e := e.(type) {
+		case *ft.VarRef:
+			return e.Decl
+		case *ft.IndexExpr:
+			return e.Arr.Decl
+		default:
+			return nil
+		}
+	}
+
+	refsTarget := func(e ft.Expr) bool {
+		hit := false
+		ft.WalkExpr(e, func(sub ft.Expr) bool {
+			if d := declOf(sub); d != nil && target[d] {
+				hit = true
+			}
+			return !hit
+		})
+		return hit
+	}
+
+	// shouldKeep decides whether a leaf statement is kept under the
+	// current needed/keptProc sets.
+	shouldKeep := func(s ft.Stmt) bool {
+		switch s := s.(type) {
+		case *ft.AssignStmt:
+			return needed[declOf(s.LHS)]
+		case *ft.CallStmt:
+			if s.Proc != nil && keptProc[s.Proc] {
+				return true
+			}
+			for i, a := range s.Args {
+				if refsTarget(a) {
+					return true // rule 2
+				}
+				// A call defining a needed symbol through an out/inout
+				// dummy is a definition of that symbol (rule 3).
+				if s.Proc != nil && i < len(s.Proc.ParamDecl) {
+					if dm := s.Proc.ParamDecl[i]; dm != nil &&
+						(dm.Intent == ft.IntentOut || dm.Intent == ft.IntentInOut) &&
+						needed[declOf(a)] {
+						return true
+					}
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+
+	// onKeep propagates needs from a freshly kept leaf statement.
+	onKeep := func(s ft.Stmt) {
+		switch s := s.(type) {
+		case *ft.AssignStmt:
+			needExpr(s.LHS)
+			needExpr(s.RHS)
+		case *ft.CallStmt:
+			if s.Proc != nil {
+				keepProc(s.Proc)
+			}
+			for _, a := range s.Args {
+				needExpr(a)
+			}
+		}
+	}
+
+	// keepInList walks a statement list, keeping leaves per shouldKeep
+	// and enclosing control flow around kept statements (rule 5); the
+	// control context's symbols become needed (rule 3).
+	var keepInList func(list []ft.Stmt) bool
+	keepInList = func(list []ft.Stmt) bool {
+		any := false
+		for _, s := range list {
+			kept := keptStmt[s]
+			switch s := s.(type) {
+			case *ft.IfStmt:
+				inner := keepInList(s.Then)
+				inner = keepInList(s.Else) || inner
+				if inner && !kept {
+					kept = true
+					needExpr(s.Cond)
+				}
+			case *ft.DoStmt:
+				if keepInList(s.Body) && !kept {
+					kept = true
+					needExpr(s.Var)
+					needExpr(s.From)
+					needExpr(s.To)
+					if s.Step != nil {
+						needExpr(s.Step)
+					}
+				}
+			case *ft.DoWhileStmt:
+				if keepInList(s.Body) && !kept {
+					kept = true
+					needExpr(s.Cond)
+				}
+			default:
+				if !kept && shouldKeep(s) {
+					kept = true
+					onKeep(s)
+				}
+			}
+			if kept && !keptStmt[s] {
+				keptStmt[s] = true
+				changed = true
+			}
+			if keptStmt[s] {
+				any = true
+			}
+		}
+		return any
+	}
+
+	// Fixed point.
+	for {
+		changed = false
+		stats.Iterations++
+		for _, p := range prog.AllProcs {
+			// Rule 1/5: a procedure declaring a target is kept.
+			for _, d := range p.Decls {
+				if target[d] {
+					keepProc(p)
+				}
+			}
+			if keepInList(p.Body) {
+				keepProc(p)
+			}
+		}
+		if !changed || stats.Iterations > 100 {
+			break
+		}
+	}
+
+	// Emit the reduced program.
+	out := &ft.Program{}
+	for _, m := range prog.Modules {
+		rm := &ft.Module{Pos: m.Pos, Name: m.Name, Uses: append([]string(nil), m.Uses...)}
+		for _, d := range m.Decls {
+			stats.TotalDecls++
+			if needed[d] || d.IsParam {
+				rm.Decls = append(rm.Decls, d)
+				stats.KeptDecls++
+			}
+		}
+		for _, p := range m.Procs {
+			stats.TotalProcs++
+			if !keptProc[p] {
+				countStmts(p.Body, &stats.TotalStmts)
+				stats.TotalDecls += len(p.Decls)
+				continue
+			}
+			stats.KeptProcs++
+			rm.Procs = append(rm.Procs, reduceProc(p, keptStmt, needed, stats))
+		}
+		if len(rm.Decls) > 0 || len(rm.Procs) > 0 {
+			out.Modules = append(out.Modules, rm)
+		}
+	}
+	if prog.Main != nil {
+		stats.TotalProcs++
+		if keptProc[prog.Main] {
+			stats.KeptProcs++
+			out.Main = reduceProc(prog.Main, keptStmt, needed, stats)
+		} else {
+			countStmts(prog.Main.Body, &stats.TotalStmts)
+			stats.TotalDecls += len(prog.Main.Decls)
+		}
+	}
+	stats.TaintedVars = len(needed)
+	// The reduced tree shares declaration and expression nodes with the
+	// input; deep-clone so that analyzing or mutating the reduction can
+	// never corrupt the original program.
+	return ft.Clone(out), stats, nil
+}
+
+func countStmts(list []ft.Stmt, n *int) {
+	ft.WalkStmts(list, func(ft.Stmt) bool { *n++; return true })
+}
+
+// reduceProc copies a procedure keeping only kept statements (with their
+// enclosing control flow) and declarations of needed or structural
+// symbols.
+func reduceProc(p *ft.Procedure, keptStmt map[ft.Stmt]bool, needed map[*ft.VarDecl]bool, stats *ReduceStats) *ft.Procedure {
+	out := &ft.Procedure{
+		Pos: p.Pos, Kind: p.Kind, Name: p.Name,
+		ResultName: p.ResultName,
+		Params:     append([]string(nil), p.Params...),
+		Uses:       append([]string(nil), p.Uses...),
+	}
+	for _, d := range p.Decls {
+		stats.TotalDecls++
+		// Dummies, results, and parameters are structural (rule 5) and
+		// always kept; other declarations survive only when needed.
+		if needed[d] || d.IsArg || d.IsParam || (p.Result != nil && d == p.Result) {
+			out.Decls = append(out.Decls, d)
+			stats.KeptDecls++
+		}
+	}
+	var filter func(list []ft.Stmt) []ft.Stmt
+	filter = func(list []ft.Stmt) []ft.Stmt {
+		var kept []ft.Stmt
+		for _, s := range list {
+			stats.TotalStmts++
+			if !keptStmt[s] {
+				switch s := s.(type) {
+				case *ft.IfStmt:
+					countStmts(s.Then, &stats.TotalStmts)
+					countStmts(s.Else, &stats.TotalStmts)
+				case *ft.DoStmt:
+					countStmts(s.Body, &stats.TotalStmts)
+				case *ft.DoWhileStmt:
+					countStmts(s.Body, &stats.TotalStmts)
+				}
+				continue
+			}
+			stats.KeptStmts++
+			switch s := s.(type) {
+			case *ft.IfStmt:
+				kept = append(kept, &ft.IfStmt{
+					Pos: s.Pos, Cond: s.Cond, ElseIf: s.ElseIf,
+					Then: filter(s.Then), Else: filter(s.Else),
+				})
+			case *ft.DoStmt:
+				kept = append(kept, &ft.DoStmt{
+					Pos: s.Pos, Var: s.Var, From: s.From, To: s.To,
+					Step: s.Step, NoVector: s.NoVector, Body: filter(s.Body),
+				})
+			case *ft.DoWhileStmt:
+				kept = append(kept, &ft.DoWhileStmt{Pos: s.Pos, Cond: s.Cond, Body: filter(s.Body)})
+			default:
+				kept = append(kept, s)
+			}
+		}
+		return kept
+	}
+	out.Body = filter(p.Body)
+	return out
+}

@@ -1,0 +1,294 @@
+// Package viz renders the experiment results as standalone HTML/SVG
+// documents, mirroring the paper artifact's "interactive HTML
+// visualizations reproducing Figures 5-7". Pure stdlib: each page embeds
+// a hand-built SVG scatter with hover tooltips via <title> elements.
+package viz
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+)
+
+// Series is one named group of points sharing a color.
+type Series struct {
+	Name   string
+	Color  string
+	Points []XY
+}
+
+// XY is one scatter point. Label becomes the hover tooltip.
+type XY struct {
+	X, Y  float64
+	Label string
+}
+
+// Scatter describes one plot.
+type Scatter struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XLog   bool
+	YLog   bool
+	Series []Series
+	// HLines/VLines draw dashed reference lines (thresholds).
+	HLines []float64
+	VLines []float64
+	Width  int
+	Height int
+}
+
+const (
+	marginL = 70.0
+	marginR = 20.0
+	marginT = 40.0
+	marginB = 55.0
+)
+
+// DefaultColors cycles for unnamed series colors.
+var DefaultColors = []string{"#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed", "#0891b2"}
+
+// SVG renders the scatter as an SVG fragment.
+func (s *Scatter) SVG() string {
+	w, h := s.Width, s.Height
+	if w == 0 {
+		w = 720
+	}
+	if h == 0 {
+		h = 480
+	}
+	plotW := float64(w) - marginL - marginR
+	plotH := float64(h) - marginT - marginB
+
+	xmin, xmax, ymin, ymax := s.bounds()
+	tx := func(x float64) float64 {
+		return marginL + plotW*frac(x, xmin, xmax, s.XLog)
+	}
+	ty := func(y float64) float64 {
+		return marginT + plotH*(1-frac(y, ymin, ymax, s.YLog))
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`, w, h)
+	fmt.Fprintf(&sb, `<rect x="0" y="0" width="%d" height="%d" fill="white"/>`, w, h)
+	fmt.Fprintf(&sb, `<text x="%g" y="20" font-size="15" font-weight="bold">%s</text>`,
+		marginL, html.EscapeString(s.Title))
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`,
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`,
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&sb, `<text x="%g" y="%g" text-anchor="middle">%s</text>`,
+		marginL+plotW/2, float64(h)-12, html.EscapeString(s.XLabel))
+	fmt.Fprintf(&sb, `<text x="16" y="%g" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`,
+		marginT+plotH/2, marginT+plotH/2, html.EscapeString(s.YLabel))
+
+	// Ticks.
+	for _, t := range ticks(xmin, xmax, s.XLog) {
+		x := tx(t)
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#999"/>`, x, marginT+plotH, x, marginT+plotH+4)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" text-anchor="middle" fill="#444">%s</text>`, x, marginT+plotH+18, tickLabel(t))
+	}
+	for _, t := range ticks(ymin, ymax, s.YLog) {
+		y := ty(t)
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#999"/>`, marginL-4, y, marginL, y)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" text-anchor="end" fill="#444">%s</text>`, marginL-7, y+4, tickLabel(t))
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#eee"/>`, marginL, y, marginL+plotW, y)
+	}
+
+	// Reference lines.
+	for _, v := range s.HLines {
+		if v < ymin || v > ymax {
+			continue
+		}
+		y := ty(v)
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#888" stroke-dasharray="5,4"/>`,
+			marginL, y, marginL+plotW, y)
+	}
+	for _, v := range s.VLines {
+		if v < xmin || v > xmax {
+			continue
+		}
+		x := tx(v)
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#888" stroke-dasharray="5,4"/>`,
+			x, marginT, x, marginT+plotH)
+	}
+
+	// Points.
+	for si, ser := range s.Series {
+		color := ser.Color
+		if color == "" {
+			color = DefaultColors[si%len(DefaultColors)]
+		}
+		for _, p := range ser.Points {
+			x, y := clampCoord(p.X, xmin, xmax, s.XLog), clampCoord(p.Y, ymin, ymax, s.YLog)
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s" fill-opacity="0.75"><title>%s</title></circle>`,
+				tx(x), ty(y), color, html.EscapeString(p.Label))
+		}
+	}
+
+	// Legend.
+	lx := marginL + 10
+	ly := marginT + 8.0
+	for si, ser := range s.Series {
+		color := ser.Color
+		if color == "" {
+			color = DefaultColors[si%len(DefaultColors)]
+		}
+		fmt.Fprintf(&sb, `<circle cx="%g" cy="%g" r="4" fill="%s"/>`, lx, ly, color)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" fill="#222">%s (%d)</text>`,
+			lx+9, ly+4, html.EscapeString(ser.Name), len(ser.Points))
+		ly += 16
+	}
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}
+
+func clampCoord(v, lo, hi float64, log bool) float64 {
+	if log && v <= 0 {
+		return lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func (s *Scatter) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	consider := func(v float64, log bool, mn, mx *float64) {
+		if log && v <= 0 {
+			return
+		}
+		if v < *mn {
+			*mn = v
+		}
+		if v > *mx {
+			*mx = v
+		}
+	}
+	for _, ser := range s.Series {
+		for _, p := range ser.Points {
+			consider(p.X, s.XLog, &xmin, &xmax)
+			consider(p.Y, s.YLog, &ymin, &ymax)
+		}
+	}
+	for _, v := range s.VLines {
+		consider(v, s.XLog, &xmin, &xmax)
+	}
+	for _, v := range s.HLines {
+		consider(v, s.YLog, &ymin, &ymax)
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax = 0, 1
+	}
+	if math.IsInf(ymin, 1) {
+		ymin, ymax = 0, 1
+	}
+	xmin, xmax = pad(xmin, xmax, s.XLog)
+	ymin, ymax = pad(ymin, ymax, s.YLog)
+	return
+}
+
+func pad(lo, hi float64, log bool) (float64, float64) {
+	if log {
+		if lo == hi {
+			return lo / 2, hi * 2
+		}
+		r := hi / lo
+		f := math.Pow(r, 0.06)
+		return lo / f, hi * f
+	}
+	if lo == hi {
+		return lo - 1, hi + 1
+	}
+	d := (hi - lo) * 0.06
+	return lo - d, hi + d
+}
+
+func frac(v, lo, hi float64, log bool) float64 {
+	if log {
+		if v <= 0 {
+			v = lo
+		}
+		return (math.Log10(v) - math.Log10(lo)) / (math.Log10(hi) - math.Log10(lo))
+	}
+	return (v - lo) / (hi - lo)
+}
+
+// ticks chooses 4-7 human tick positions.
+func ticks(lo, hi float64, log bool) []float64 {
+	if log {
+		var out []float64
+		for e := math.Floor(math.Log10(lo)); e <= math.Ceil(math.Log10(hi)); e++ {
+			t := math.Pow(10, e)
+			if t >= lo && t <= hi {
+				out = append(out, t)
+			}
+		}
+		if len(out) >= 2 {
+			return out
+		}
+		// Narrow range: fall back to linear ticks.
+	}
+	span := hi - lo
+	if span <= 0 {
+		return []float64{lo}
+	}
+	step := math.Pow(10, math.Floor(math.Log10(span/4)))
+	for span/step > 7 {
+		step *= 2
+	}
+	for span/step < 3 {
+		step /= 2
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func tickLabel(t float64) string {
+	a := math.Abs(t)
+	switch {
+	case t == 0:
+		return "0"
+	case a >= 1e4 || a < 1e-3:
+		return fmt.Sprintf("%.0e", t)
+	case a < 1:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", t), "0"), ".")
+	default:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", t), "0"), ".")
+	}
+}
+
+// Page assembles SVG figures into one standalone HTML page.
+func Page(title string, sections ...string) string {
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>")
+	sb.WriteString(html.EscapeString(title))
+	sb.WriteString(`</title><style>
+body { font-family: sans-serif; margin: 24px; color: #111; }
+h1 { font-size: 20px; }
+.fig { margin-bottom: 28px; }
+pre { background: #f6f6f6; padding: 10px; overflow-x: auto; }
+</style></head><body>`)
+	fmt.Fprintf(&sb, "<h1>%s</h1>\n", html.EscapeString(title))
+	for _, s := range sections {
+		fmt.Fprintf(&sb, `<div class="fig">%s</div>`+"\n", s)
+	}
+	sb.WriteString("</body></html>\n")
+	return sb.String()
+}
+
+// Pre wraps preformatted text for inclusion in a Page.
+func Pre(text string) string {
+	return "<pre>" + html.EscapeString(text) + "</pre>"
+}

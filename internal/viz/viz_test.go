@@ -1,0 +1,158 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleScatter() *Scatter {
+	return &Scatter{
+		Title:  "test plot",
+		XLabel: "speedup",
+		YLabel: "error",
+		YLog:   true,
+		Series: []Series{
+			{Name: "pass", Points: []XY{{X: 1.5, Y: 1e-6, Label: "a<b"}, {X: 0.8, Y: 1e-3}}},
+			{Name: "fail", Color: "#ff0000", Points: []XY{{X: 2.0, Y: 0.5}}},
+		},
+		HLines: []float64{1e-4},
+		VLines: []float64{1.0},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg := sampleScatter().SVG()
+	for _, want := range []string{"<svg", "</svg>", "circle", "test plot",
+		"speedup", "error", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<circle") < 3+2 { // 3 points + legend dots
+		t.Errorf("too few circles: %d", strings.Count(svg, "<circle"))
+	}
+	// Labels must be HTML-escaped.
+	if strings.Contains(svg, "a<b") {
+		t.Error("tooltip label not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b") {
+		t.Error("escaped tooltip missing")
+	}
+	// Tooltip circles close with </circle>; everything else self-closes.
+	if strings.Count(svg, "<title>") != strings.Count(svg, "</title>") {
+		t.Error("unbalanced <title> tags")
+	}
+}
+
+func TestEmptyScatter(t *testing.T) {
+	s := &Scatter{Title: "empty"}
+	svg := s.SVG()
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Error("empty scatter should still render axes")
+	}
+}
+
+func TestLogAxisSkipsNonPositive(t *testing.T) {
+	s := &Scatter{
+		YLog: true,
+		Series: []Series{{Name: "s", Points: []XY{
+			{X: 1, Y: 0}, {X: 2, Y: 1e-3}, {X: 3, Y: 1},
+		}}},
+	}
+	svg := s.SVG()
+	if !strings.Contains(svg, "<circle") {
+		t.Error("points dropped entirely")
+	}
+	// Must not emit NaN coordinates.
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN coordinates in SVG")
+	}
+}
+
+// Property: no finite input produces NaN/Inf coordinates in the output.
+func TestSVGCoordinatesFiniteProperty(t *testing.T) {
+	f := func(xs, ys [6]float64) bool {
+		pts := make([]XY, 0, 6)
+		for i := range xs {
+			x, y := xs[i], ys[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			// Keep magnitudes printable.
+			if math.Abs(x) > 1e12 || math.Abs(y) > 1e12 {
+				continue
+			}
+			pts = append(pts, XY{X: x, Y: y})
+		}
+		s := &Scatter{Series: []Series{{Name: "p", Points: pts}}}
+		svg := s.SVG()
+		return !strings.Contains(svg, "NaN") && !strings.Contains(svg, "Inf")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTicks(t *testing.T) {
+	lin := ticks(0, 10, false)
+	if len(lin) < 3 || len(lin) > 12 {
+		t.Errorf("linear ticks: %v", lin)
+	}
+	log := ticks(1e-6, 1e2, true)
+	if len(log) < 4 {
+		t.Errorf("log ticks: %v", log)
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i] <= log[i-1] {
+			t.Errorf("log ticks not increasing: %v", log)
+		}
+	}
+	if got := ticks(5, 5, false); len(got) == 0 {
+		t.Errorf("degenerate range produced no ticks")
+	}
+}
+
+func TestTickLabel(t *testing.T) {
+	cases := map[float64]string{
+		0:     "0",
+		1:     "1",
+		2.5:   "2.5",
+		1e-6:  "1e-06",
+		20000: "2e+04",
+		0.25:  "0.25",
+	}
+	for v, want := range cases {
+		if got := tickLabel(v); got != want {
+			t.Errorf("tickLabel(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestPage(t *testing.T) {
+	page := Page("My <Title>", "<svg>1</svg>", Pre("raw & text"))
+	for _, want := range []string{"<!DOCTYPE html>", "My &lt;Title&gt;",
+		"<svg>1</svg>", "raw &amp; text", "</html>"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+}
+
+func TestPadAndFrac(t *testing.T) {
+	lo, hi := pad(1, 1, false)
+	if lo >= hi {
+		t.Error("pad of degenerate linear range")
+	}
+	lo, hi = pad(1, 1, true)
+	if lo >= hi || lo <= 0 {
+		t.Error("pad of degenerate log range")
+	}
+	if f := frac(5, 0, 10, false); f != 0.5 {
+		t.Errorf("frac linear = %g", f)
+	}
+	if f := frac(10, 1, 100, true); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("frac log = %g", f)
+	}
+}

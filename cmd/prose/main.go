@@ -150,15 +150,24 @@ func cmdTune(args []string) error {
 	whole := fs.Bool("whole-model", false, "guide the search by whole-model time (paper IV-C)")
 	seed := fs.Int64("seed", 1, "seed for the Eq. (1) runtime-noise model")
 	budget := fs.Int("budget", 0, "max distinct variant evaluations (0 = model default)")
+	par := fs.Int("par", 1, "concurrent variant evaluations (results are identical at any level)")
+	journalPath := fs.String("journal", "", "crash-safe evaluation journal (append-only JSONL; checkpoint at <path>.ckpt)")
+	resume := fs.Bool("resume", false, "replay an existing -journal to where it stopped, then continue")
 	verbose := fs.Bool("v", false, "print each variant as it is evaluated")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *journalPath == "" {
+		return fmt.Errorf("tune: -resume requires -journal")
 	}
 	m, err := getModel(*name)
 	if err != nil {
 		return err
 	}
-	opts := core.Options{Seed: *seed, WholeModel: *whole, MaxEvaluations: *budget}
+	opts := core.Options{
+		Seed: *seed, WholeModel: *whole, MaxEvaluations: *budget,
+		Parallelism: *par, JournalPath: *journalPath, Resume: *resume,
+	}
 	if *verbose {
 		opts.Progress = func(ev *search.Evaluation) {
 			fmt.Printf("  variant %5.1f%% 32-bit: %-7s speedup %6.3f  err %9.3e  %s\n",
@@ -172,6 +181,10 @@ func cmdTune(args []string) error {
 	res, err := t.Run()
 	if err != nil {
 		return err
+	}
+	if res.Resumed > 0 {
+		fmt.Printf("resumed: %d evaluation(s) replayed from %s, %d run fresh\n",
+			res.Resumed, *journalPath, len(res.Outcome.Log.Evals)-res.Resumed)
 	}
 	fmt.Print(res.Render())
 	return nil

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"path/filepath"
 	"testing"
 )
 
@@ -46,6 +47,27 @@ func TestCommandErrorPaths(t *testing.T) {
 	}
 	if err := cmdVariant([]string{"-model", "funarc", "-lower", "no.such.atom"}); err == nil {
 		t.Error("variant with unknown atom accepted")
+	}
+}
+
+func TestTuneFlagValidation(t *testing.T) {
+	if err := cmdTune([]string{"-model", "funarc", "-resume"}); err == nil {
+		t.Error("-resume without -journal accepted")
+	}
+}
+
+func TestTuneJournalResumeCLI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "funarc.jsonl")
+	if err := cmdTune([]string{"-model", "funarc", "-journal", path}); err != nil {
+		t.Fatalf("tune with journal: %v", err)
+	}
+	// Re-running without -resume must refuse to clobber the journal…
+	if err := cmdTune([]string{"-model", "funarc", "-journal", path}); err == nil {
+		t.Error("existing journal clobbered without -resume")
+	}
+	// …while -resume replays it, at any parallelism level.
+	if err := cmdTune([]string{"-model", "funarc", "-journal", path, "-resume", "-par", "4"}); err != nil {
+		t.Errorf("resume: %v", err)
 	}
 }
 

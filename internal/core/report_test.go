@@ -1,9 +1,12 @@
 package core
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
+	"repro/internal/gptl"
+	"repro/internal/interp"
 	"repro/internal/models"
 	"repro/internal/search"
 	"repro/internal/transform"
@@ -90,20 +93,88 @@ func TestSortedProcVariants(t *testing.T) {
 	}
 }
 
-func TestWrappedCallee(t *testing.T) {
-	cases := map[string]struct {
-		callee string
-		ok     bool
-	}{
-		"mod.flux4_wrapper_88x":        {"mod.flux4", true},
-		"mod.f_wrapper_4_wrapper_8":    {"mod.f_wrapper_4", true},
-		"mod.plain":                    {"", false},
-		"atm.srk3_wrapper_4444444444x": {"atm.srk3", true},
+// timedResult builds an interp.Result whose timers hold the given
+// region self times (one call each).
+func timedResult(selfs map[string]float64) *interp.Result {
+	now := 0.0
+	tm := gptl.New(func() float64 { return now })
+	names := make([]string, 0, len(selfs))
+	for n := range selfs {
+		names = append(names, n)
 	}
-	for in, want := range cases {
-		got, ok := wrappedCallee(in)
-		if ok != want.ok || got != want.callee {
-			t.Errorf("wrappedCallee(%q) = %q, %v; want %q, %v", in, got, ok, want.callee, want.ok)
+	sort.Strings(names)
+	for _, n := range names {
+		tm.Start(n)
+		now += selfs[n]
+		if err := tm.Stop(n); err != nil {
+			panic(err)
+		}
+	}
+	return &interp.Result{Timers: tm}
+}
+
+// TestHotspotTimeExactWrapperMatch: hotspot CPU time counts hotspot
+// procedures and *generated* wrappers of internal hotspot procedures —
+// and nothing whose name merely looks like a wrapper's. A user
+// procedure literally named foo_wrapper_x must not be misattributed.
+func TestHotspotTimeExactWrapperMatch(t *testing.T) {
+	tn := &Tuner{
+		hotspotProcs: map[string]bool{"hot.flux": true, "hot.flux_wrapper_88x": true},
+		entryProcs:   map[string]bool{"hot.entry": true},
+	}
+	res := timedResult(map[string]float64{
+		"hot.flux":              100, // hotspot proc
+		"hot.flux_wrapper_88x":  40,  // USER proc with a wrapper-like name (counts as itself)
+		"hot.flux_wrapper_44x":  7,   // generated wrapper of an internal hotspot proc
+		"hot.entry_wrapper_84x": 9,   // generated boundary wrapper: excluded
+		"main.driver":           500, // outside the hotspot
+		"phys.f_wrapper_x":      25,  // user proc elsewhere, wrapper-like name
+	})
+	wrapperOf := map[string]string{
+		"hot.flux_wrapper_44x":  "hot.flux",
+		"hot.entry_wrapper_84x": "hot.entry",
+	}
+	if got := tn.hotspotTime(res, wrapperOf); got != 147 {
+		t.Errorf("hotspotTime = %g, want 147 (100 + 40 + 7)", got)
+	}
+	// Baseline runs carry no wrapper map at all.
+	if got := tn.hotspotTime(res, nil); got != 140 {
+		t.Errorf("baseline hotspotTime = %g, want 140", got)
+	}
+}
+
+// TestRecordProcPointsExactWrapperMatch: a user procedure named like a
+// wrapper of a hotspot procedure must not inflate that procedure's
+// per-call time; only the variant's actual generated wrappers do.
+func TestRecordProcPointsExactWrapperMatch(t *testing.T) {
+	tn := &Tuner{
+		model:         &models.Model{Hotspot: "hot"},
+		hotspotProcs:  map[string]bool{"hot.flux": true},
+		baseProcCalls: map[string]int64{"hot.flux": 1},
+		baseProcPC:    map[string]float64{"hot.flux": 216},
+		procPoints:    make(map[string]map[string]*ProcPoint),
+		procAtoms:     map[string][]string{"hot.flux": {"hot.flux.x"}},
+	}
+	res := timedResult(map[string]float64{
+		"hot.flux":             100,
+		"hot.flux_wrapper_88x": 40, // user proc: must NOT count toward flux
+		"hot.flux_wrapper_44x": 8,  // generated wrapper: must count
+	})
+	ev := &search.Evaluation{
+		Assignment: transform.Assignment{"hot.flux.x": 4},
+		Status:     search.StatusPass,
+	}
+	tn.recordProcPoints(ev, res, map[string]string{"hot.flux_wrapper_44x": "hot.flux"})
+	pts := tn.procPoints["hot.flux"]
+	if len(pts) != 1 {
+		t.Fatalf("recorded %d points, want 1", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.PerCall != 108 {
+			t.Errorf("per-call = %g, want 108 (self 100 + generated wrapper 8)", pt.PerCall)
+		}
+		if pt.Speedup != 2 {
+			t.Errorf("speedup = %g, want 2 (baseline 216 / 108)", pt.Speedup)
 		}
 	}
 }

@@ -16,12 +16,14 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"strings"
 	"sync"
 
 	ft "repro/internal/fortran"
 	"repro/internal/gptl"
 	"repro/internal/interp"
+	"repro/internal/journal"
 	"repro/internal/models"
 	"repro/internal/perfmodel"
 	"repro/internal/search"
@@ -48,7 +50,33 @@ type Options struct {
 	// Machine overrides the default machine model.
 	Machine *perfmodel.Model
 	// Progress, if non-nil, receives one call per distinct variant.
+	// Evaluations replayed from a resumed journal are not re-run and do
+	// not reach Progress.
 	Progress func(ev *search.Evaluation)
+
+	// JournalPath, if non-empty, makes the search crash-safe: every
+	// distinct variant evaluation is appended to an append-only JSONL
+	// journal at this path and fsync'd before the search proceeds, and
+	// an atomic checkpoint of search progress is kept at
+	// JournalPath+".ckpt". A run killed at any point (the paper's
+	// 12-hour job limit killed the MOM6 search and lost everything)
+	// leaves a journal from which Resume continues without re-running
+	// any evaluated variant.
+	JournalPath string
+	// Resume warm-starts from an existing journal at JournalPath: the
+	// search replays the journaled evaluations to the point the
+	// previous run died, then continues. The journal's baseline
+	// fingerprint (program source, machine model, seed, search options)
+	// must match this run's, or it is rejected as stale rather than
+	// silently reused. Parallelism is deliberately not fingerprinted:
+	// evaluation logs are identical at every parallelism level.
+	Resume bool
+
+	// WrapEvaluator, if non-nil, wraps the tuner's variant evaluator
+	// before the search runs — the instrumentation seam used by the
+	// crash-safety fault-injection tests, and available for caching or
+	// screening layers.
+	WrapEvaluator func(search.Evaluator) search.Evaluator
 }
 
 // Baseline summarizes the instrumented baseline run (Table I data).
@@ -81,10 +109,14 @@ type Result struct {
 	Baseline *Baseline
 	Outcome  *search.Outcome
 	// ProcVariants maps hotspot procedure qualified names to their
-	// unique per-procedure variants (Fig. 6 series).
+	// unique per-procedure variants (Fig. 6 series), each slice sorted
+	// by FromIndex so results are independent of evaluation order.
 	ProcVariants map[string][]ProcPoint
 	// Criteria used by the search.
 	Criteria search.Criteria
+	// Resumed is the number of evaluations replayed from the journal
+	// instead of re-run (0 unless Options.Resume found prior work).
+	Resumed int
 }
 
 // Tuner runs the full tuning cycle for one model.
@@ -222,7 +254,7 @@ func (t *Tuner) runBaseline() error {
 	}
 	t.baseOut = out
 
-	hotspot := t.hotspotTime(res)
+	hotspot := t.hotspotTime(res, nil)
 	t.baseline = &Baseline{
 		TotalCycles:   res.Cycles,
 		HotspotCycles: hotspot,
@@ -283,7 +315,13 @@ func (t *Tuner) uniform32Error() (float64, error) {
 // hotspot module's baseline procedures plus the wrappers of *internal*
 // hotspot procedures. Boundary wrappers (around entry procedures) run in
 // the caller and are excluded — the blindness that §IV-C exposes.
-func (t *Tuner) hotspotTime(res *interp.Result) float64 {
+//
+// wrapperOf is the variant's authoritative generated-wrapper map
+// (transform.Result.WrapperOf; nil for the wrapper-free baseline).
+// Matching against it, rather than against a "_wrapper_" substring,
+// keeps a user procedure that merely *looks* like a wrapper (e.g. one
+// literally named foo_wrapper_x) from corrupting the attribution.
+func (t *Tuner) hotspotTime(res *interp.Result, wrapperOf map[string]string) float64 {
 	var sum float64
 	for _, r := range res.Timers.Regions() {
 		name := r.Name
@@ -291,20 +329,11 @@ func (t *Tuner) hotspotTime(res *interp.Result) float64 {
 			sum += r.Self
 			continue
 		}
-		if callee, ok := wrappedCallee(name); ok && t.hotspotProcs[callee] && !t.entryProcs[callee] {
+		if callee, ok := wrapperOf[name]; ok && t.hotspotProcs[callee] && !t.entryProcs[callee] {
 			sum += r.Self
 		}
 	}
 	return sum
-}
-
-// wrappedCallee maps "mod.proc_wrapper_sig" to "mod.proc".
-func wrappedCallee(qname string) (string, bool) {
-	i := strings.LastIndex(qname, "_wrapper_")
-	if i < 0 {
-		return "", false
-	}
-	return qname[:i], true
 }
 
 // measuredTime selects the guiding time metric.
@@ -354,7 +383,7 @@ func (t *Tuner) Evaluate(a transform.Assignment) *search.Evaluation {
 			ev.Status = search.StatusError
 		}
 		ev.Detail = runErr.Error()
-		t.recordProcPoints(ev, res)
+		t.recordProcPoints(ev, res, v.WrapperOf)
 		t.notify(ev)
 		return ev
 	}
@@ -366,12 +395,12 @@ func (t *Tuner) Evaluate(a transform.Assignment) *search.Evaluation {
 	if err != nil {
 		ev.Status = search.StatusError
 		ev.Detail = err.Error()
-		t.recordProcPoints(ev, res)
+		t.recordProcPoints(ev, res, v.WrapperOf)
 		t.notify(ev)
 		return ev
 	}
 
-	varTime := t.noiseFor(a.Key()).MedianOfN(t.measuredTime(t.hotspotTime(res), res.Cycles), t.model.NRuns)
+	varTime := t.noiseFor(a.Key()).MedianOfN(t.measuredTime(t.hotspotTime(res, v.WrapperOf), res.Cycles), t.model.NRuns)
 	ev.Speedup = t.baseTimeEq1 / varTime
 	if ev.RelError <= t.baseline.Threshold {
 		ev.Status = search.StatusPass
@@ -379,7 +408,7 @@ func (t *Tuner) Evaluate(a transform.Assignment) *search.Evaluation {
 		ev.Status = search.StatusFail
 	}
 	ev.Detail = fmt.Sprintf("wrappers=%d casts=%d", v.Wrappers, res.Casts)
-	t.recordProcPoints(ev, res)
+	t.recordProcPoints(ev, res, v.WrapperOf)
 	t.notify(ev)
 	return ev
 }
@@ -396,8 +425,9 @@ func (t *Tuner) notify(ev *search.Evaluation) {
 // the per-call CPU time under this variant's sub-assignment of that
 // procedure's own variables (first observation of each unique
 // sub-assignment is kept, matching the paper's "unique procedure
-// variants").
-func (t *Tuner) recordProcPoints(ev *search.Evaluation, res *interp.Result) {
+// variants"). wrapperOf is the variant's generated-wrapper map; only
+// actual generated wrappers contribute to a procedure's wrapper time.
+func (t *Tuner) recordProcPoints(ev *search.Evaluation, res *interp.Result, wrapperOf map[string]string) {
 	if res == nil || res.Timers == nil {
 		return
 	}
@@ -407,7 +437,7 @@ func (t *Tuner) recordProcPoints(ev *search.Evaluation, res *interp.Result) {
 	// Per-proc wrapper self time.
 	wrapSelf := make(map[string]float64)
 	for _, r := range res.Timers.Regions() {
-		if callee, ok := wrappedCallee(r.Name); ok {
+		if callee, ok := wrapperOf[r.Name]; ok {
 			wrapSelf[callee] += r.Self
 		}
 	}
@@ -468,8 +498,31 @@ func (t *Tuner) subKey(proc string, a transform.Assignment) (string, int) {
 	return strings.Join(parts, ";"), lowered
 }
 
-// Run performs the full search and assembles the result.
-func (t *Tuner) Run() (*Result, error) {
+// Fingerprint identifies everything that shapes the evaluation stream:
+// the program source, the machine model, the noise seed, and the search
+// options. A journal whose fingerprint differs must not be reused —
+// its cached evaluations belong to a different experiment. Parallelism
+// is deliberately excluded: evaluation logs are identical at every
+// parallelism level, so a journal recorded at one level resumes
+// correctly at any other.
+func (t *Tuner) Fingerprint() string {
+	criteria, budget := t.searchParams()
+	return journal.Fingerprint(
+		"model="+t.model.Name,
+		"source="+t.model.Source,
+		"machine="+t.machine.Signature(),
+		fmt.Sprintf("seed=%d", t.opts.Seed),
+		fmt.Sprintf("wholemodel=%v", t.opts.WholeModel),
+		fmt.Sprintf("budget=%d", budget),
+		fmt.Sprintf("minspeedup=%g", criteria.MinSpeedup),
+		fmt.Sprintf("maxrelerror=%g", criteria.MaxRelError),
+		fmt.Sprintf("nruns=%d", t.model.NRuns),
+		fmt.Sprintf("noiserel=%g", t.model.NoiseRel),
+	)
+}
+
+// searchParams resolves the acceptance criteria and evaluation budget.
+func (t *Tuner) searchParams() (search.Criteria, int) {
 	criteria := search.Criteria{
 		MaxRelError: t.baseline.Threshold,
 		MinSpeedup:  t.opts.MinSpeedup,
@@ -480,12 +533,132 @@ func (t *Tuner) Run() (*Result, error) {
 	} else if t.opts.MaxEvaluations < 0 {
 		budget = 0
 	}
-	outcome := search.Precimonious(t, t.atoms, search.Options{
+	return criteria, budget
+}
+
+// journalAbort carries a journal write failure out of the search: if
+// the crash-safety layer cannot persist an evaluation, continuing to
+// burn evaluations that would be lost on a crash defeats its purpose.
+type journalAbort struct{ err error }
+
+// openJournal opens (or creates) the evaluation journal per Options and
+// returns it with the warm-start records replayed from it.
+func (t *Tuner) openJournal() (*journal.Journal, map[string]*search.Evaluation, error) {
+	hdr := journal.Header{Fingerprint: t.Fingerprint(), Model: t.model.Name}
+	var (
+		jnl *journal.Journal
+		err error
+	)
+	if t.opts.Resume {
+		jnl, err = journal.Open(t.opts.JournalPath, hdr)
+	} else {
+		jnl, err = journal.Create(t.opts.JournalPath, hdr)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	ckptPath := journal.CheckpointPath(t.opts.JournalPath)
+	if t.opts.Resume {
+		if ck, ok, err := journal.LoadCheckpoint(ckptPath); err != nil {
+			jnl.Close()
+			return nil, nil, err
+		} else if ok {
+			if err := journal.ValidateCheckpoint(ck, jnl); err != nil {
+				jnl.Close()
+				return nil, nil, err
+			}
+		}
+	}
+	warm := make(map[string]*search.Evaluation, len(jnl.Records()))
+	for _, r := range jnl.Records() {
+		ev, err := r.Evaluation()
+		if err != nil {
+			jnl.Close()
+			return nil, nil, err
+		}
+		warm[r.AKey] = ev
+	}
+	return jnl, warm, nil
+}
+
+// Run performs the full search and assembles the result. With
+// Options.JournalPath set, the search is crash-safe: every evaluation
+// is journaled and fsync'd as it completes, and with Options.Resume a
+// prior journal is replayed so no evaluated variant is ever re-run.
+func (t *Tuner) Run() (*Result, error) {
+	criteria, budget := t.searchParams()
+	sopts := search.Options{
 		Criteria:       criteria,
 		MaxEvaluations: budget,
 		Parallelism:    t.opts.Parallelism,
-	})
+	}
+
+	resumed := 0
+	var jnl *journal.Journal
+	if t.opts.JournalPath != "" {
+		var (
+			warm map[string]*search.Evaluation
+			err  error
+		)
+		jnl, warm, err = t.openJournal()
+		if err != nil {
+			return nil, err
+		}
+		defer jnl.Close()
+		resumed = len(warm)
+		fp := jnl.Header().Fingerprint
+		ckptPath := journal.CheckpointPath(t.opts.JournalPath)
+		sopts.Warm = warm
+		sopts.OnAdd = func(ev *search.Evaluation, replayed bool) {
+			if !replayed {
+				if err := jnl.Append(journal.FromEvaluation(fp, ev)); err != nil {
+					panic(journalAbort{err})
+				}
+			}
+			// The checkpoint is rewritten after the journal append is
+			// durable, so it can lag the journal but never lead it.
+			if err := journal.SaveCheckpoint(ckptPath, journal.Checkpoint{
+				Fingerprint: fp, Model: t.model.Name, Evaluations: ev.Index,
+			}); err != nil {
+				panic(journalAbort{err})
+			}
+		}
+	}
+
+	evaluator := search.Evaluator(t)
+	if t.opts.WrapEvaluator != nil {
+		evaluator = t.opts.WrapEvaluator(evaluator)
+	}
+
+	outcome, err := func() (out *search.Outcome, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if ja, ok := r.(journalAbort); ok {
+					err = ja.err
+					return
+				}
+				panic(r) // genuine crash (e.g. injected fault): propagate
+			}
+		}()
+		return search.Precimonious(evaluator, t.atoms, sopts), nil
+	}()
+	if err != nil {
+		return nil, err
+	}
 	t.log = outcome.Log
+
+	if jnl != nil {
+		if err := journal.SaveCheckpoint(journal.CheckpointPath(t.opts.JournalPath), journal.Checkpoint{
+			Fingerprint: jnl.Header().Fingerprint,
+			Model:       t.model.Name,
+			Evaluations: len(outcome.Log.Evals),
+			Done:        true,
+			Converged:   outcome.Converged,
+			Minimal:     append([]string(nil), outcome.Minimal...),
+		}); err != nil {
+			return nil, err
+		}
+	}
 
 	result := &Result{
 		Model:        t.model,
@@ -494,11 +667,20 @@ func (t *Tuner) Run() (*Result, error) {
 		Outcome:      outcome,
 		Criteria:     criteria,
 		ProcVariants: make(map[string][]ProcPoint),
+		Resumed:      resumed,
 	}
 	for q, pts := range t.procPoints {
+		list := make([]ProcPoint, 0, len(pts))
 		for _, p := range pts {
-			result.ProcVariants[q] = append(result.ProcVariants[q], *p)
+			list = append(list, *p)
 		}
+		// procPoints is a map; iteration order varies run to run. Sort
+		// by discovery index to honor the documented guarantee that
+		// results are independent of evaluation order. FromIndex is
+		// unique within a procedure: each evaluation contributes at most
+		// one new sub-assignment point per procedure.
+		sort.Slice(list, func(i, j int) bool { return list[i].FromIndex < list[j].FromIndex })
+		result.ProcVariants[q] = list
 	}
 	return result, nil
 }

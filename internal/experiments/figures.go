@@ -32,7 +32,10 @@ func Fig2(seed int64) (*Fig2Result, error) {
 		return nil, err
 	}
 	atoms := t.Atoms()
-	log := search.BruteForce(t, atoms, suiteParallelism())
+	log, err := search.BruteForce(t, atoms, suiteParallelism())
+	if err != nil {
+		return nil, err
+	}
 	out := &Fig2Result{
 		Points:    pointsFromLog(log),
 		Threshold: t.BaselineInfo().Threshold,

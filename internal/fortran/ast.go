@@ -151,6 +151,15 @@ type Procedure struct {
 	Decls      []*VarDecl
 	Body       []Stmt
 
+	// WrapperFor is the qualified name of the procedure this one was
+	// generated to wrap (transform's parameter-passing shims, paper
+	// Fig. 4), or "" for every user-written procedure. Tools that must
+	// distinguish generated wrappers — e.g. hotspot CPU-time attribution
+	// — check this marker rather than pattern-matching names, so a user
+	// procedure that happens to be named like a wrapper is never
+	// misclassified.
+	WrapperFor string
+
 	// Filled by semantic analysis.
 	Module    *Module
 	ParamDecl []*VarDecl // decl for each dummy argument, parallel to Params

@@ -34,6 +34,7 @@ func cloneProc(p *Procedure) *Procedure {
 		Kind:       p.Kind,
 		Name:       p.Name,
 		ResultName: p.ResultName,
+		WrapperFor: p.WrapperFor,
 	}
 	out.Params = append([]string(nil), p.Params...)
 	out.Uses = append([]string(nil), p.Uses...)

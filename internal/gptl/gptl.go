@@ -102,10 +102,16 @@ func (t *Timers) Stop(name string) error {
 		return fmt.Errorf("gptl: Stop(%q) but innermost open region is %q", name, top.region.Name)
 	}
 	t.stack = t.stack[:len(t.stack)-1]
+	// Read the clock *before* charging the stop-event overhead: the
+	// region's measured time must not include the cost of stopping its
+	// own timer, or every region's self time is inflated by one overhead
+	// unit per call beyond the modeled cost. (The start-event overhead is
+	// likewise charged before the start timestamp is read, so both event
+	// costs land outside the region, in its caller.)
+	total := t.clock() - top.start
 	if t.advance != nil && t.overhead > 0 {
 		t.advance(t.overhead)
 	}
-	total := t.clock() - top.start
 	r := top.region
 	r.Calls++
 	r.Self += total - top.child

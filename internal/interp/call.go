@@ -142,11 +142,14 @@ func (i *Interp) invoke(fr *frame, proc *ft.Procedure, args []ft.Expr, pos ft.Po
 	i.curProc = i.curProc[:len(i.curProc)-1]
 	i.depth--
 	if i.timers != nil {
-		if !inlined {
-			i.cycles += i.model.TimerOverhead
-		}
+		// Stop reads the clock before the stop-event overhead is
+		// charged (mirroring gptl.Timers.Stop): the instrumentation cost
+		// lands in the caller, not inside the measured region.
 		if terr := i.timers.Stop(q); terr != nil && err == nil {
 			err = &RunError{Pos: pos, Kind: FailInternal, Msg: terr.Error()}
+		}
+		if !inlined {
+			i.cycles += i.model.TimerOverhead
 		}
 	}
 	if err != nil {

@@ -153,6 +153,13 @@ func AVX512() *Model {
 	return m
 }
 
+// Signature renders every parameter of the model deterministically. The
+// evaluation journal fingerprints cached results with it, so results
+// priced by one machine model are never replayed against another.
+func (m *Model) Signature() string {
+	return fmt.Sprintf("%+v", *m)
+}
+
 // kindIndex maps a real kind (4 or 8) to a cost table index. Integer
 // operations pass kind 4.
 func kindIndex(kind int) int {

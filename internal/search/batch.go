@@ -14,8 +14,17 @@ import (
 // T2/T3 transform/compile/execute them in parallel on dedicated nodes.
 //
 // Duplicate assignments within the batch, and assignments already in the
-// log, are evaluated only once. The evaluator must be safe for
+// log, are evaluated only once. Assignments with a record in the log's
+// warm cache (a resumed crash journal) are served from it without
+// calling the evaluator at all. The evaluator must be safe for
 // concurrent use.
+//
+// Crash safety: if the evaluator panics, the completed results that
+// precede the first panic in batch order are still flushed to the log —
+// and through its OnAdd observer to any journal — before the original
+// panic value is re-raised on the caller's goroutine. Results at or
+// after the first panicked slot are discarded, so the log (and journal)
+// remain an exact prefix of the deterministic evaluation order.
 func batchEval(log *Log, eval Evaluator, batch []transform.Assignment, parallelism int) []*Evaluation {
 	if parallelism < 1 {
 		parallelism = 1
@@ -24,8 +33,9 @@ func batchEval(log *Log, eval Evaluator, batch []transform.Assignment, paralleli
 
 	// Identify the distinct, not-yet-cached assignments.
 	type job struct {
-		idx int // first batch index needing this evaluation
-		a   transform.Assignment
+		idx  int         // first batch index needing this evaluation
+		a    transform.Assignment
+		warm *Evaluation // prior record served without evaluation
 	}
 	var jobs []job
 	firstByKey := make(map[string]int)
@@ -38,16 +48,32 @@ func batchEval(log *Log, eval Evaluator, batch []transform.Assignment, paralleli
 			continue
 		}
 		firstByKey[k] = i
-		jobs = append(jobs, job{idx: i, a: a})
+		j := job{idx: i, a: a}
+		if ev, ok := log.fromWarm(a); ok {
+			j.warm = ev
+		}
+		jobs = append(jobs, j)
 	}
 
 	fresh := make([]*Evaluation, len(jobs))
+	panics := make([]any, len(jobs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, parallelism)
 	for ji := range jobs {
+		if jobs[ji].warm != nil {
+			ev := jobs[ji].warm
+			ev.Assignment = jobs[ji].a
+			fresh[ji] = ev
+			continue
+		}
 		wg.Add(1)
 		go func(ji int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[ji] = r
+				}
+			}()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			ev := eval.Evaluate(jobs[ji].a)
@@ -57,10 +83,13 @@ func batchEval(log *Log, eval Evaluator, batch []transform.Assignment, paralleli
 	}
 	wg.Wait()
 
-	// Log in deterministic (batch) order, then resolve every slot.
+	// Log in deterministic (batch) order, then resolve every slot. On a
+	// panic, flush only the contiguous completed prefix and re-raise.
 	for ji, ev := range fresh {
-		_ = jobs[ji]
-		log.Add(ev)
+		if panics[ji] != nil {
+			panic(panics[ji])
+		}
+		log.add(ev, jobs[ji].warm != nil)
 	}
 	for i, a := range batch {
 		ev, ok := log.Lookup(a)

@@ -1,0 +1,60 @@
+package search
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/transform"
+)
+
+// FaultMode selects how a FaultInjector fails.
+type FaultMode int
+
+const (
+	// FaultPanic aborts the evaluation with a panic carrying an
+	// *InjectedFault, simulating a kill (job-limit expiry, OOM, node
+	// failure) at an arbitrary point of the search.
+	FaultPanic FaultMode = iota
+	// FaultError returns a StatusError evaluation instead, simulating a
+	// persistently failing toolchain.
+	FaultError
+)
+
+// InjectedFault is the panic value raised by a FaultInjector in
+// FaultPanic mode.
+type InjectedFault struct {
+	// After is the number of evaluations that completed before the
+	// fault fired.
+	After int64
+}
+
+func (e *InjectedFault) Error() string {
+	return fmt.Sprintf("search: injected fault after %d evaluations", e.After)
+}
+
+// FaultInjector wraps an Evaluator and fails once Limit evaluations
+// have completed — the harness behind the crash-safety tests: killing a
+// journaled search at *any* evaluation and resuming must reproduce the
+// byte-identical evaluation log of an uninterrupted run. It is safe for
+// concurrent use, as batched searches require.
+type FaultInjector struct {
+	Inner Evaluator
+	Limit int64 // evaluations allowed before the fault fires
+	Mode  FaultMode
+
+	n atomic.Int64
+}
+
+// Calls returns the number of Evaluate calls admitted so far.
+func (f *FaultInjector) Calls() int64 { return f.n.Load() }
+
+// Evaluate implements Evaluator.
+func (f *FaultInjector) Evaluate(a transform.Assignment) *Evaluation {
+	if f.n.Add(1) > f.Limit {
+		if f.Mode == FaultError {
+			return &Evaluation{Assignment: a, Status: StatusError, Detail: "injected fault"}
+		}
+		panic(&InjectedFault{After: f.Limit})
+	}
+	return f.Inner.Evaluate(a)
+}

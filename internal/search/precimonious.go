@@ -1,6 +1,8 @@
 package search
 
 import (
+	"fmt"
+
 	"repro/internal/transform"
 )
 
@@ -33,6 +35,17 @@ type Options struct {
 	// for every parallelism level; the evaluator must be safe for
 	// concurrent use when Parallelism > 1.
 	Parallelism int
+	// Warm seeds the log's warm cache with prior evaluations keyed by
+	// canonical assignment key (transform.Assignment.Key()), typically
+	// replayed from a crash journal. A proposed assignment found here is
+	// appended to the log without re-running the evaluator, so a
+	// resumed search replays past work for free and produces the same
+	// evaluation log as an uninterrupted run.
+	Warm map[string]*Evaluation
+	// OnAdd observes every log append in deterministic order; replayed
+	// is true for records served from Warm. The crash journal appends
+	// (and fsyncs) fresh records from this hook.
+	OnAdd func(ev *Evaluation, replayed bool)
 }
 
 // Precimonious runs the delta-debugging-based FPPT search of §III-B over
@@ -43,6 +56,10 @@ type Options struct {
 // and Figures 5-7).
 func Precimonious(eval Evaluator, atoms []transform.Atom, opts Options) *Outcome {
 	log := NewLog()
+	for k, ev := range opts.Warm {
+		log.SeedWarm(k, ev)
+	}
+	log.SetOnAdd(opts.OnAdd)
 	out := &Outcome{Log: log, Converged: true}
 	if len(atoms) == 0 {
 		return out
@@ -170,13 +187,23 @@ func atomNames(atoms []transform.Atom, idx []int) []string {
 	return out
 }
 
+// MaxBruteForceAtoms bounds the exhaustive sweep: 2^24 variants is
+// already ~16.8M evaluations, far beyond any practical budget, and
+// larger shifts overflow the variant count on 32-bit ints.
+const MaxBruteForceAtoms = 24
+
 // BruteForce evaluates all 2^n variants over atoms (used for funarc's
 // Fig. 2; n must be small). Atom i is lowered in variant v when bit i of
 // v is set. Variants are evaluated with the given parallelism but logged
-// in enumeration order.
-func BruteForce(eval Evaluator, atoms []transform.Atom, parallelism int) *Log {
-	log := NewLog()
+// in enumeration order. Atom counts above MaxBruteForceAtoms are
+// rejected rather than silently attempting an astronomically large (or,
+// after shift overflow, nonsensically sized) sweep.
+func BruteForce(eval Evaluator, atoms []transform.Atom, parallelism int) (*Log, error) {
 	n := len(atoms)
+	if n > MaxBruteForceAtoms {
+		return nil, fmt.Errorf("search: brute force over %d atoms needs 2^%d evaluations; the limit is %d atoms — use Precimonious for larger spaces", n, n, MaxBruteForceAtoms)
+	}
+	log := NewLog()
 	batch := make([]transform.Assignment, 1<<uint(n))
 	for v := range batch {
 		a := make(transform.Assignment, n)
@@ -190,5 +217,5 @@ func BruteForce(eval Evaluator, atoms []transform.Atom, parallelism int) *Log {
 		batch[v] = a
 	}
 	batchEval(log, eval, batch, parallelism)
-	return log
+	return log, nil
 }

@@ -83,6 +83,17 @@ func (c Criteria) Accept(ev *Evaluation) bool {
 type Log struct {
 	Evals []*Evaluation
 	cache map[string]*Evaluation
+
+	// warm holds prior evaluations (typically replayed from a crash
+	// journal) keyed by canonical assignment key. When the search
+	// proposes an assignment found here, the prior record is appended to
+	// the log in place of a fresh evaluation, so a resumed search
+	// replays to the point of death without re-running anything.
+	warm map[string]*Evaluation
+	// onAdd observes every Add in deterministic log order; replayed
+	// marks records served from the warm cache. The crash journal hooks
+	// in here.
+	onAdd func(ev *Evaluation, replayed bool)
 }
 
 // NewLog returns an empty evaluation log.
@@ -96,11 +107,35 @@ func (l *Log) Lookup(a transform.Assignment) (*Evaluation, bool) {
 	return ev, ok
 }
 
+// SeedWarm registers a prior evaluation under a canonical assignment
+// key; a later proposal of that assignment is served from it instead of
+// being re-evaluated.
+func (l *Log) SeedWarm(key string, ev *Evaluation) {
+	if l.warm == nil {
+		l.warm = make(map[string]*Evaluation)
+	}
+	l.warm[key] = ev
+}
+
+// SetOnAdd installs the add observer (nil to remove).
+func (l *Log) SetOnAdd(fn func(ev *Evaluation, replayed bool)) { l.onAdd = fn }
+
+// fromWarm returns the warm-cache record for an assignment, if any.
+func (l *Log) fromWarm(a transform.Assignment) (*Evaluation, bool) {
+	ev, ok := l.warm[a.Key()]
+	return ev, ok
+}
+
 // Add records an evaluation.
-func (l *Log) Add(ev *Evaluation) {
+func (l *Log) Add(ev *Evaluation) { l.add(ev, false) }
+
+func (l *Log) add(ev *Evaluation, replayed bool) {
 	ev.Index = len(l.Evals) + 1
 	l.Evals = append(l.Evals, ev)
 	l.cache[ev.Assignment.Key()] = ev
+	if l.onAdd != nil {
+		l.onAdd(ev, replayed)
+	}
 }
 
 // Counts tallies outcomes as in Table II.

@@ -280,7 +280,10 @@ func TestPrecimoniousRespectsMinSpeedup(t *testing.T) {
 func TestBruteForceEnumerates(t *testing.T) {
 	atoms := mkAtoms(5)
 	fe := &fakeEval{atoms: atoms, critical: map[string]bool{"m.p.v02": true}}
-	log := BruteForce(fe, atoms, 4)
+	log, err := BruteForce(fe, atoms, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(log.Evals) != 32 {
 		t.Fatalf("brute force explored %d variants, want 32", len(log.Evals))
 	}

@@ -101,6 +101,9 @@ type Result struct {
 	Prog     *ft.Program
 	Info     *ft.Info
 	Wrappers int // wrapper procedures inserted
+	// WrapperOf maps each generated wrapper's qualified name to the
+	// qualified name of the procedure it wraps (see WrapperMap).
+	WrapperOf map[string]string
 }
 
 // Apply generates the mixed-precision variant of base (an analyzed
@@ -144,7 +147,7 @@ func Apply(base *ft.Program, a Assignment) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transform: variant is malformed after wrapper insertion: %w", err)
 	}
-	return &Result{Prog: variant, Info: info, Wrappers: wrappers}, nil
+	return &Result{Prog: variant, Info: info, Wrappers: wrappers, WrapperOf: WrapperMap(variant)}, nil
 }
 
 // KindOf reports the effective kind of atom q under a, given its

@@ -119,9 +119,10 @@ func buildWrapper(prog *ft.Program, callee *ft.Procedure, actualKinds []int, sig
 
 	pos := callee.Pos
 	w := &ft.Procedure{
-		Pos:  pos,
-		Kind: callee.Kind,
-		Name: name,
+		Pos:        pos,
+		Kind:       callee.Kind,
+		Name:       name,
+		WrapperFor: callee.QName(),
 	}
 
 	ref := func(n string) *ft.VarRef { return &ft.VarRef{Pos: pos, Name: n} }
@@ -208,16 +209,35 @@ func buildWrapper(prog *ft.Program, callee *ft.Procedure, actualKinds []int, sig
 }
 
 // WrapperNames lists wrapper procedures present in a transformed
-// program, in deterministic order (useful for tests and diffs).
+// program, in deterministic order (useful for tests and diffs). Only
+// procedures actually generated by InsertWrappers are listed — a user
+// procedure whose name merely looks like a wrapper's is not.
 func WrapperNames(prog *ft.Program) []string {
 	var out []string
 	for _, m := range prog.Modules {
 		for _, p := range m.Procs {
-			if strings.Contains(p.Name, "_wrapper_") {
+			if p.WrapperFor != "" {
 				out = append(out, p.QName())
 			}
 		}
 	}
 	sort.Strings(out)
+	return out
+}
+
+// WrapperMap maps each generated wrapper's qualified name to the
+// qualified name of the procedure it wraps. This is the authoritative
+// record for attributing a wrapper's profiled CPU time to its callee;
+// name-based matching would misattribute user procedures that happen to
+// contain a wrapper-like substring.
+func WrapperMap(prog *ft.Program) map[string]string {
+	out := make(map[string]string)
+	for _, m := range prog.Modules {
+		for _, p := range m.Procs {
+			if p.WrapperFor != "" {
+				out[p.QName()] = p.WrapperFor
+			}
+		}
+	}
 	return out
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,14 +24,24 @@ import (
 	"repro/internal/core"
 	ft "repro/internal/fortran"
 	"repro/internal/models"
+	"repro/internal/resilience"
 	"repro/internal/search"
 	"repro/internal/transform"
+)
+
+// Exit codes. A supervised search that failed fast still prints its
+// partial report before exiting; scripts distinguish the abort kinds.
+const (
+	exitErr        = 1 // generic failure
+	exitUsage      = 2 // bad invocation
+	exitBreaker    = 3 // resilience circuit breaker tripped
+	exitQuarantine = 4 // resilience quarantine budget exhausted
 )
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	var err error
 	switch os.Args[1] {
@@ -53,11 +64,18 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "prose: unknown command %q\n", os.Args[1])
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "prose:", err)
-		os.Exit(1)
+		var abort *resilience.AbortError
+		if errors.As(err, &abort) {
+			if abort.Reason == resilience.AbortQuarantine {
+				os.Exit(exitQuarantine)
+			}
+			os.Exit(exitBreaker)
+		}
+		os.Exit(exitErr)
 	}
 }
 
@@ -151,8 +169,13 @@ func cmdTune(args []string) error {
 	seed := fs.Int64("seed", 1, "seed for the Eq. (1) runtime-noise model")
 	budget := fs.Int("budget", 0, "max distinct variant evaluations (0 = model default)")
 	par := fs.Int("par", 1, "concurrent variant evaluations (results are identical at any level)")
-	journalPath := fs.String("journal", "", "crash-safe evaluation journal (append-only JSONL; checkpoint at <path>.ckpt)")
+	journalPath := fs.String("journal", "", "crash-safe evaluation journal (append-only JSONL; checkpoint at <path>.ckpt, resilience events at <path>.events)")
 	resume := fs.Bool("resume", false, "replay an existing -journal to where it stopped, then continue")
+	retries := fs.Int("retries", 0, "retry transient evaluation-infrastructure faults up to N times (variant outcomes are never retried)")
+	breaker := fs.Int("breaker", 0, "fail fast after N consecutive hard infrastructure failures (0 = never; exit code 3)")
+	failfast := fs.Bool("failfast", false, "fail fast on the first hard infrastructure failure (same as -breaker 1)")
+	maxQuarantined := fs.Int("max-quarantined", 0, "abort once more than N distinct assignments are quarantined (0 = unlimited; exit code 4)")
+	backoff := fs.Duration("retry-backoff", 0, "base retry backoff (capped exponential with seeded jitter; 0 = default 100ms)")
 	verbose := fs.Bool("v", false, "print each variant as it is evaluated")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -167,6 +190,8 @@ func cmdTune(args []string) error {
 	opts := core.Options{
 		Seed: *seed, WholeModel: *whole, MaxEvaluations: *budget,
 		Parallelism: *par, JournalPath: *journalPath, Resume: *resume,
+		Retries: *retries, Breaker: *breaker, FailFast: *failfast,
+		MaxQuarantined: *maxQuarantined, RetryBackoff: *backoff,
 	}
 	if *verbose {
 		opts.Progress = func(ev *search.Evaluation) {
@@ -179,15 +204,19 @@ func cmdTune(args []string) error {
 		return err
 	}
 	res, err := t.Run()
-	if err != nil {
+	if res == nil {
 		return err
 	}
+	// Graceful degradation: a supervised abort (tripped breaker,
+	// exhausted quarantine budget) still returns the partial result —
+	// print the report and best-so-far, then surface the abort as the
+	// exit status so scripts notice the search did not finish.
 	if res.Resumed > 0 {
 		fmt.Printf("resumed: %d evaluation(s) replayed from %s, %d run fresh\n",
 			res.Resumed, *journalPath, len(res.Outcome.Log.Evals)-res.Resumed)
 	}
 	fmt.Print(res.Render())
-	return nil
+	return err
 }
 
 func cmdVariant(args []string) error {

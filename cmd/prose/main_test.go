@@ -86,3 +86,20 @@ func TestCommandHappyPaths(t *testing.T) {
 		t.Errorf("reduce: %v", err)
 	}
 }
+
+// TestTuneResilienceFlagsCLI: the resilience knobs parse, a supervised
+// tune runs clean, and -resume interoperates with a journal recorded
+// under a different retry policy (the knobs are not fingerprinted).
+func TestTuneResilienceFlagsCLI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "funarc.jsonl")
+	if err := cmdTune([]string{"-model", "funarc", "-journal", path,
+		"-retries", "2", "-breaker", "5", "-retry-backoff", "1ns"}); err != nil {
+		t.Fatalf("supervised tune: %v", err)
+	}
+	if err := cmdTune([]string{"-model", "funarc", "-journal", path, "-resume"}); err != nil {
+		t.Errorf("unsupervised resume of supervised journal: %v", err)
+	}
+	if err := cmdTune([]string{"-model", "funarc", "-journal", path, "-resume", "-failfast"}); err != nil {
+		t.Errorf("failfast resume: %v", err)
+	}
+}

@@ -82,6 +82,19 @@ func (r *Result) Render() string {
 	if !row.Converged {
 		fmt.Fprintf(&sb, "  search did NOT converge within the evaluation budget\n")
 	}
+	if n := r.Outcome.Log.InfraCount(); n > 0 {
+		fmt.Fprintf(&sb, "  infrastructure failures: %d assignment(s) quarantined (outcome unknown, excluded from the percentages above)\n", n)
+	}
+	if st := r.Resilience; st != nil && (st.Retried > 0 || st.Quarantined > 0 || st.BreakerTripped) {
+		fmt.Fprintf(&sb, "  resilience: %d attempt(s) for %d evaluation(s), %d retried, %d recovered, %d quarantined\n",
+			st.Attempts, st.Evaluations, st.Retried, st.Recovered, st.Quarantined)
+	}
+	if r.Salvaged > 0 {
+		fmt.Fprintf(&sb, "  salvaged: %d evaluation(s) recovered from the aborted prior run's sidecar\n", r.Salvaged)
+	}
+	if r.Aborted != nil {
+		fmt.Fprintf(&sb, "  PARTIAL RESULT: search aborted early — %s\n", r.Aborted.Reason)
+	}
 	if best := r.Best(); best != nil {
 		fmt.Fprintf(&sb, "  best passing variant: %.2fx speedup, %.3e error, %d/%d atoms lowered\n",
 			best.Speedup, best.RelError, best.Lowered, best.TotalAtoms)

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	ft "repro/internal/fortran"
 	"repro/internal/gptl"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/models"
 	"repro/internal/perfmodel"
+	"repro/internal/resilience"
 	"repro/internal/search"
 	"repro/internal/transform"
 )
@@ -77,6 +79,37 @@ type Options struct {
 	// crash-safety fault-injection tests, and available for caching or
 	// screening layers.
 	WrapEvaluator func(search.Evaluator) search.Evaluator
+
+	// Retries enables the resilience supervisor and bounds retries of
+	// transient infrastructure faults (worker panics) per evaluation.
+	// Variant outcomes — fail/timeout/error evaluations *returned* by
+	// the evaluator — are deterministic properties of the assignment and
+	// are never retried, so Table II statistics are unaffected. Like
+	// Parallelism, the resilience knobs are not fingerprinted: they do
+	// not shape the evaluation stream, so a journal recorded under one
+	// retry policy resumes correctly under any other.
+	Retries int
+	// FailFast trips the circuit breaker on the first hard
+	// infrastructure failure (equivalent to Breaker=1).
+	FailFast bool
+	// Breaker trips the circuit breaker after this many consecutive
+	// hard infrastructure failures, failing fast with a partial report
+	// (0 disables unless FailFast is set). Setting it enables the
+	// supervisor even with Retries=0.
+	Breaker int
+	// MaxQuarantined aborts the search once more than this many
+	// distinct assignments are quarantined (0 = unlimited).
+	MaxQuarantined int
+	// RetryBackoff is the base retry delay (0 = the supervisor default;
+	// tests set ~1ns to avoid real sleeps). Jitter is seeded per
+	// assignment, so retried runs stay deterministic.
+	RetryBackoff time.Duration
+}
+
+// supervising reports whether any resilience knob enables the
+// supervisor.
+func (o Options) supervising() bool {
+	return o.Retries > 0 || o.FailFast || o.Breaker > 0 || o.MaxQuarantined > 0
 }
 
 // Baseline summarizes the instrumented baseline run (Table I data).
@@ -117,6 +150,17 @@ type Result struct {
 	// Resumed is the number of evaluations replayed from the journal
 	// instead of re-run (0 unless Options.Resume found prior work).
 	Resumed int
+	// Salvaged is the number of evaluations recovered from the events
+	// sidecar of an aborted prior run and replayed without re-running.
+	Salvaged int
+	// Resilience snapshots the supervisor counters (nil when the run
+	// was not supervised).
+	Resilience *resilience.Stats
+	// Aborted is set when the supervisor terminated the search early
+	// (circuit breaker / quarantine budget); the Result then holds the
+	// partial work completed before the abort, and Run returns the same
+	// value as its error.
+	Aborted *resilience.AbortError
 }
 
 // Tuner runs the full tuning cycle for one model.
@@ -541,9 +585,34 @@ func (t *Tuner) searchParams() (search.Criteria, int) {
 // burn evaluations that would be lost on a crash defeats its purpose.
 type journalAbort struct{ err error }
 
+// journalState is everything openJournal replays from disk: the journal
+// itself, warm-start evaluations, and — when the run is supervised —
+// the events sidecar with its quarantine and salvage records.
+type journalState struct {
+	jnl    *journal.Journal
+	events *journal.EventLog // nil when the run is not supervised
+	warm   map[string]*search.Evaluation
+	// salvaged holds evaluations rescued by an aborted prior run's
+	// salvage events, for keys not already durable in the journal.
+	salvaged map[string]*search.Evaluation
+	// quarantined maps poisoned assignment keys to their rendered fault.
+	quarantined map[string]string
+}
+
+func (s *journalState) close() {
+	if s.events != nil {
+		s.events.Close()
+	}
+	s.jnl.Close()
+}
+
 // openJournal opens (or creates) the evaluation journal per Options and
-// returns it with the warm-start records replayed from it.
-func (t *Tuner) openJournal() (*journal.Journal, map[string]*search.Evaluation, error) {
+// returns it with the warm-start records replayed from it. When
+// withEvents is set (a supervised run), the resilience events sidecar
+// is opened alongside: on resume its quarantine records keep poisoned
+// assignments from re-crashing the search, and its salvage records
+// recover evaluations an aborted batch completed but never journaled.
+func (t *Tuner) openJournal(withEvents bool) (*journalState, error) {
 	hdr := journal.Header{Fingerprint: t.Fingerprint(), Model: t.model.Name}
 	var (
 		jnl *journal.Journal
@@ -555,17 +624,17 @@ func (t *Tuner) openJournal() (*journal.Journal, map[string]*search.Evaluation, 
 		jnl, err = journal.Create(t.opts.JournalPath, hdr)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	ckptPath := journal.CheckpointPath(t.opts.JournalPath)
 	if t.opts.Resume {
 		if ck, ok, err := journal.LoadCheckpoint(ckptPath); err != nil {
 			jnl.Close()
-			return nil, nil, err
+			return nil, err
 		} else if ok {
 			if err := journal.ValidateCheckpoint(ck, jnl); err != nil {
 				jnl.Close()
-				return nil, nil, err
+				return nil, err
 			}
 		}
 	}
@@ -574,41 +643,86 @@ func (t *Tuner) openJournal() (*journal.Journal, map[string]*search.Evaluation, 
 		ev, err := r.Evaluation()
 		if err != nil {
 			jnl.Close()
-			return nil, nil, err
+			return nil, err
 		}
 		warm[r.AKey] = ev
 	}
-	return jnl, warm, nil
+	js := &journalState{jnl: jnl, warm: warm}
+	if !withEvents {
+		return js, nil
+	}
+
+	epath := journal.EventsPath(t.opts.JournalPath)
+	if t.opts.Resume {
+		js.events, err = journal.OpenEvents(epath, hdr)
+	} else {
+		js.events, err = journal.CreateEvents(epath, hdr)
+	}
+	if err != nil {
+		jnl.Close()
+		return nil, err
+	}
+	js.quarantined = js.events.QuarantinedKeys()
+	for _, rec := range js.events.SalvagedRecords() {
+		if _, durable := warm[rec.AKey]; durable {
+			continue // the journal proper wins over salvage events
+		}
+		ev, err := rec.Evaluation()
+		if err != nil {
+			js.close()
+			return nil, err
+		}
+		if js.salvaged == nil {
+			js.salvaged = make(map[string]*search.Evaluation)
+		}
+		js.salvaged[rec.AKey] = ev
+	}
+	return js, nil
 }
 
 // Run performs the full search and assembles the result. With
 // Options.JournalPath set, the search is crash-safe: every evaluation
 // is journaled and fsync'd as it completes, and with Options.Resume a
 // prior journal is replayed so no evaluated variant is ever re-run.
+//
+// With a resilience knob set (Retries/FailFast/Breaker/MaxQuarantined)
+// the evaluator runs under a resilience.Supervised wrapper. If the
+// supervisor aborts the search — circuit breaker tripped or quarantine
+// budget exhausted — Run returns the partial Result *and* the
+// *resilience.AbortError: the completed work (log, journal, best
+// variant so far) is preserved for graceful degradation, while the
+// error signals that the search did not finish.
 func (t *Tuner) Run() (*Result, error) {
 	criteria, budget := t.searchParams()
+	// The log is pre-created (rather than left to the search) so the
+	// completed evaluations survive a supervised abort's unwind and can
+	// back the partial report.
+	log := search.NewLog()
 	sopts := search.Options{
 		Criteria:       criteria,
 		MaxEvaluations: budget,
 		Parallelism:    t.opts.Parallelism,
+		Log:            log,
 	}
+	supervising := t.opts.supervising()
 
-	resumed := 0
+	resumed, salvaged := 0, 0
 	var jnl *journal.Journal
+	var events *journal.EventLog
+	var preQuarantined map[string]string
 	if t.opts.JournalPath != "" {
-		var (
-			warm map[string]*search.Evaluation
-			err  error
-		)
-		jnl, warm, err = t.openJournal()
+		js, err := t.openJournal(supervising)
 		if err != nil {
 			return nil, err
 		}
-		defer jnl.Close()
-		resumed = len(warm)
+		defer js.close()
+		jnl, events, preQuarantined = js.jnl, js.events, js.quarantined
+		resumed = len(js.warm)
+		salvaged = len(js.salvaged)
 		fp := jnl.Header().Fingerprint
 		ckptPath := journal.CheckpointPath(t.opts.JournalPath)
-		sopts.Warm = warm
+		sopts.Warm = js.warm
+		sopts.Salvaged = js.salvaged
 		sopts.OnAdd = func(ev *search.Evaluation, replayed bool) {
 			if !replayed {
 				if err := jnl.Append(journal.FromEvaluation(fp, ev)); err != nil {
@@ -623,31 +737,81 @@ func (t *Tuner) Run() (*Result, error) {
 				panic(journalAbort{err})
 			}
 		}
+		if events != nil {
+			ev := events
+			sopts.OnSalvage = func(e *search.Evaluation) {
+				rec := journal.FromEvaluation(fp, e)
+				if err := ev.Append(journal.EventRecord{
+					Type: journal.EventSalvaged, AKey: rec.AKey, Rec: &rec,
+				}); err != nil {
+					panic(journalAbort{err})
+				}
+			}
+		}
 	}
 
 	evaluator := search.Evaluator(t)
 	if t.opts.WrapEvaluator != nil {
 		evaluator = t.opts.WrapEvaluator(evaluator)
 	}
+	var sup *resilience.Supervised
+	if supervising {
+		breaker := t.opts.Breaker
+		if t.opts.FailFast && (breaker == 0 || breaker > 1) {
+			breaker = 1
+		}
+		sup = &resilience.Supervised{
+			Inner:          evaluator,
+			MaxRetries:     t.opts.Retries,
+			Breaker:        breaker,
+			MaxQuarantined: t.opts.MaxQuarantined,
+			Backoff:        resilience.Backoff{Base: t.opts.RetryBackoff, Seed: t.opts.Seed},
+		}
+		if events != nil {
+			ev := events
+			sup.OnEvent = func(e resilience.Event) {
+				if err := ev.Append(journal.EventRecord{
+					Type: string(e.Type), AKey: e.Key, Attempt: e.Attempt, Fault: e.Fault,
+				}); err != nil {
+					panic(journalAbort{err})
+				}
+			}
+		}
+		for k, fault := range preQuarantined {
+			sup.Quarantine(k, fault)
+		}
+		evaluator = sup
+	}
 
-	outcome, err := func() (out *search.Outcome, err error) {
+	outcome, abortErr, err := func() (out *search.Outcome, abort *resilience.AbortError, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				if ja, ok := r.(journalAbort); ok {
 					err = ja.err
 					return
 				}
+				if ae, ok := r.(*resilience.AbortError); ok {
+					abort = ae
+					return
+				}
 				panic(r) // genuine crash (e.g. injected fault): propagate
 			}
 		}()
-		return search.Precimonious(evaluator, t.atoms, sopts), nil
+		return search.Precimonious(evaluator, t.atoms, sopts), nil, nil
 	}()
 	if err != nil {
 		return nil, err
 	}
+	if abortErr != nil {
+		// Graceful degradation: the pre-created log holds everything that
+		// completed (and was journaled) before the abort.
+		outcome = &search.Outcome{Log: log, Converged: false}
+	}
 	t.log = outcome.Log
 
-	if jnl != nil {
+	// The Done checkpoint is skipped on abort: the search is not done,
+	// and a resumed run must pick up where this one failed fast.
+	if jnl != nil && abortErr == nil {
 		if err := journal.SaveCheckpoint(journal.CheckpointPath(t.opts.JournalPath), journal.Checkpoint{
 			Fingerprint: jnl.Header().Fingerprint,
 			Model:       t.model.Name,
@@ -668,6 +832,12 @@ func (t *Tuner) Run() (*Result, error) {
 		Criteria:     criteria,
 		ProcVariants: make(map[string][]ProcPoint),
 		Resumed:      resumed,
+		Salvaged:     salvaged,
+		Aborted:      abortErr,
+	}
+	if sup != nil {
+		st := sup.Stats()
+		result.Resilience = &st
 	}
 	for q, pts := range t.procPoints {
 		list := make([]ProcPoint, 0, len(pts))
@@ -681,6 +851,9 @@ func (t *Tuner) Run() (*Result, error) {
 		// one new sub-assignment point per procedure.
 		sort.Slice(list, func(i, j int) bool { return list[i].FromIndex < list[j].FromIndex })
 		result.ProcVariants[q] = list
+	}
+	if abortErr != nil {
+		return result, abortErr
 	}
 	return result, nil
 }

@@ -1,0 +1,238 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// EventsKind identifies the resilience-events sidecar file format.
+const EventsKind = "prose-resilience-events"
+
+// EventsPath returns the conventional events-sidecar path for a journal.
+func EventsPath(journalPath string) string { return journalPath + ".events" }
+
+// Event record types. Retry/quarantine/breaker records mirror
+// resilience.Event; salvaged records carry a full evaluation Record
+// rescued from an aborted batch.
+const (
+	EventRetry       = "retry"
+	EventQuarantine  = "quarantine"
+	EventBreakerTrip = "breaker_trip"
+	EventSalvaged    = "salvaged"
+)
+
+// EventRecord is one journaled resilience event (one JSON line of the
+// events sidecar).
+//
+// The sidecar exists precisely because these records must NOT live in
+// the evaluation journal proper: the journal of a run that absorbed
+// transient faults is byte-identical to a fault-free run's, so retry
+// noise is kept out-of-band. Two record types carry resume-critical
+// state:
+//
+//   - quarantine: the assignment is poisoned; a resumed supervisor
+//     preloads it and answers StatusInfra without re-crashing.
+//   - salvaged: a completed evaluation whose deterministic journal slot
+//     was never reached because an earlier slot aborted; a resumed
+//     search serves it from the warm cache and journals it at its
+//     proper index, so the paid-for work is not repeated.
+type EventRecord struct {
+	Type string `json:"type"`
+	// AKey is the canonical assignment key the event concerns.
+	AKey string `json:"akey,omitempty"`
+	// Attempt is the faulted attempt (retry) or total attempts spent
+	// (quarantine).
+	Attempt int `json:"attempt,omitempty"`
+	// Fault is the rendered fault value.
+	Fault string `json:"fault,omitempty"`
+	// Rec is the salvaged evaluation (EventSalvaged only).
+	Rec *Record `json:"rec,omitempty"`
+}
+
+// EventLog is an open events sidecar. Append is safe for concurrent
+// use: the supervisor emits events from evaluation workers.
+type EventLog struct {
+	path    string
+	header  Header
+	mu      sync.Mutex
+	f       *os.File
+	records []EventRecord
+}
+
+// Path returns the event log's file path.
+func (e *EventLog) Path() string { return e.path }
+
+// Records returns the records replayed when the log was opened.
+func (e *EventLog) Records() []EventRecord { return e.records }
+
+// QuarantinedKeys folds the replayed records into the quarantine map:
+// assignment key -> rendered fault (last quarantine wins).
+func (e *EventLog) QuarantinedKeys() map[string]string {
+	out := make(map[string]string)
+	for _, r := range e.records {
+		if r.Type == EventQuarantine {
+			out[r.AKey] = r.Fault
+		}
+	}
+	return out
+}
+
+// SalvagedRecords returns the salvaged evaluation records replayed when
+// the log was opened, in append order (deduplicated by assignment key,
+// first wins — salvage order is deterministic batch order).
+func (e *EventLog) SalvagedRecords() []Record {
+	seen := make(map[string]bool)
+	var out []Record
+	for _, r := range e.records {
+		if r.Type != EventSalvaged || r.Rec == nil || seen[r.Rec.AKey] {
+			continue
+		}
+		seen[r.Rec.AKey] = true
+		out = append(out, *r.Rec)
+	}
+	return out
+}
+
+func fillEventsHeader(h *Header) {
+	h.Kind = EventsKind
+	h.Version = Version
+}
+
+// CreateEvents starts a fresh events sidecar at path, truncating any
+// prior file: unlike the evaluation journal, events are derived
+// observability/resume state, and a fresh run must not inherit a stale
+// quarantine from an earlier experiment.
+func CreateEvents(path string, h Header) (*EventLog, error) {
+	fillEventsHeader(&h)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	e := &EventLog{path: path, header: h, f: f}
+	if err := e.writeLine(h); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// OpenEvents opens the events sidecar at path for resumption,
+// validating its header against want exactly as Open validates the
+// evaluation journal. A missing file starts a fresh sidecar. A
+// truncated final line — a crash mid-append — is dropped and the file
+// truncated back to the last complete record.
+func OpenEvents(path string, want Header) (*EventLog, error) {
+	fillEventsHeader(&want)
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return CreateEvents(path, want)
+	}
+	if err != nil {
+		return nil, err
+	}
+	h, recs, err := parseEvents(raw)
+	if err != nil {
+		return nil, fmt.Errorf("journal: events %s: %w", path, err)
+	}
+	if h.Kind != want.Kind || h.Version != want.Version {
+		return nil, fmt.Errorf("journal: %s is not a %s v%d file (found %q v%d)",
+			path, want.Kind, want.Version, h.Kind, h.Version)
+	}
+	if h.Fingerprint != want.Fingerprint {
+		return nil, fmt.Errorf("journal: events %s were recorded for a different configuration (fingerprint %.12s..., want %.12s...) — remove the sidecar or restore the original configuration",
+			path, h.Fingerprint, want.Fingerprint)
+	}
+	goodLen := completeLen(raw)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(int64(goodLen)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(int64(goodLen), 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &EventLog{path: path, header: h, f: f, records: recs}, nil
+}
+
+// parseEvents splits raw sidecar bytes into header and complete
+// records, ignoring a truncated trailing line. Salvaged payloads are
+// integrity-checked like journal records (content key over fingerprint
+// and assignment key); indices are not checked — events interleave
+// nondeterministically under parallel evaluation.
+func parseEvents(raw []byte) (Header, []EventRecord, error) {
+	sc := bufio.NewScanner(strings.NewReader(string(raw[:completeLen(raw)])))
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return Header{}, nil, fmt.Errorf("empty events file")
+	}
+	var h Header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return Header{}, nil, fmt.Errorf("bad header: %w", err)
+	}
+	var recs []EventRecord
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r EventRecord
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return Header{}, nil, fmt.Errorf("bad event %d: %w", len(recs)+1, err)
+		}
+		if r.Rec != nil && r.Rec.Key != RecordKey(h.Fingerprint, r.Rec.AKey) {
+			return Header{}, nil, fmt.Errorf("event %d salvage payload fails its content-key check (corrupt or copied from another journal)", len(recs)+1)
+		}
+		recs = append(recs, r)
+	}
+	return h, recs, nil
+}
+
+// Append serializes one event record, appends it as a line, and fsyncs
+// before returning: a quarantine acknowledged here must survive the
+// very crash it protects the next run from.
+func (e *EventLog) Append(r EventRecord) error {
+	if r.Rec != nil && r.Rec.Key == "" {
+		r.Rec.Key = RecordKey(e.header.Fingerprint, r.Rec.AKey)
+	}
+	return e.writeLine(r)
+}
+
+func (e *EventLog) writeLine(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.f == nil {
+		return fmt.Errorf("journal: events %s is closed", e.path)
+	}
+	if _, err := e.f.Write(b); err != nil {
+		return fmt.Errorf("journal: append to %s: %w", e.path, err)
+	}
+	if err := e.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync %s: %w", e.path, err)
+	}
+	return nil
+}
+
+// Close releases the sidecar file handle.
+func (e *EventLog) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.f == nil {
+		return nil
+	}
+	err := e.f.Close()
+	e.f = nil
+	return err
+}

@@ -98,6 +98,7 @@ var statusFromName = map[string]search.Status{
 	search.StatusFail.String():    search.StatusFail,
 	search.StatusTimeout.String(): search.StatusTimeout,
 	search.StatusError.String():   search.StatusError,
+	search.StatusInfra.String():   search.StatusInfra,
 }
 
 // FromEvaluation converts a search evaluation to its journal record.

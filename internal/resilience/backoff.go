@@ -1,0 +1,72 @@
+package resilience
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Default backoff shape: 100ms doubling per retry, capped at 5s.
+const (
+	DefaultBackoffBase = 100 * time.Millisecond
+	defaultCapFactor   = 50 // Cap defaults to 50x Base
+)
+
+// Backoff computes capped exponential retry delays with full jitter.
+// The jitter is drawn from a hash of (Seed, assignment key, attempt) —
+// a seeded RNG with no shared state — so delays are reproducible and
+// independent of evaluation order and parallelism: a journaled run
+// under retries stays byte-deterministic.
+type Backoff struct {
+	// Base is the first-retry ceiling (0 = DefaultBackoffBase).
+	Base time.Duration
+	// Cap bounds the exponential growth (0 = 50x Base).
+	Cap time.Duration
+	// Seed drives the jitter hash.
+	Seed int64
+}
+
+// Delay returns the backoff before retry `attempt` (0-based) of the
+// assignment with canonical key `key`: a uniform draw from
+// [0, min(Cap, Base<<attempt)] — "full jitter", which decorrelates
+// retry storms across workers while keeping each delay bounded.
+func (b Backoff) Delay(key string, attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	limit := b.Cap
+	if limit <= 0 {
+		limit = defaultCapFactor * base
+	}
+	ceil := base
+	for i := 0; i < attempt && ceil < limit; i++ {
+		ceil *= 2
+	}
+	if ceil > limit {
+		ceil = limit
+	}
+	h := fnv.New64a()
+	// Length-prefix-free framing is unnecessary here: the hash only
+	// drives jitter, not identity.
+	_, _ = h.Write([]byte(key))
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(b.Seed >> (8 * i))
+		buf[8+i] = byte(int64(attempt) >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	// FNV-1a avalanches trailing bytes poorly; scramble before taking
+	// the high bits.
+	frac := float64(mix64(h.Sum64())>>11) / float64(1<<53)
+	return time.Duration(frac * float64(ceil))
+}
+
+// mix64 is the MurmurHash3 fmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

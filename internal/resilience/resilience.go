@@ -1,0 +1,364 @@
+// Package resilience makes the tuning search survive the failures the
+// paper's pipeline meets on Derecho: compile-node faults, job-limit
+// kills, and flaky workers that die mid-evaluation. Its Supervised
+// evaluator wraps any search.Evaluator and draws one hard line:
+//
+//   - Variant outcomes — StatusFail, StatusTimeout, StatusError
+//     evaluations *returned* by the inner evaluator — are deterministic
+//     properties of the precision assignment (Table II buckets). They
+//     pass through untouched and are NEVER retried: re-running them
+//     cannot change the answer, and retrying would distort the paper's
+//     outcome statistics.
+//   - Infrastructure faults — *panics* escaping the inner evaluator —
+//     say nothing about the assignment. Transient ones are retried with
+//     capped exponential backoff (seeded, per-assignment jitter, so
+//     journaled runs stay deterministic); persistent ones exhaust the
+//     retry budget and the assignment is quarantined: it yields a
+//     search.StatusInfra evaluation instead of crashing the search, and
+//     a resumed run short-circuits it without touching the evaluator.
+//
+// A circuit breaker counts consecutive quarantines: N hard
+// infrastructure failures in a row mean the infrastructure itself is
+// down, and burning the remaining evaluation budget into it is worse
+// than failing fast. The breaker trips by panicking with an *AbortError
+// (a search.Abort), which the batched search layer uses to salvage
+// completed sibling results before unwinding, and which the tuner
+// converts into a partial report instead of a stack trace.
+package resilience
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/search"
+	"repro/internal/transform"
+)
+
+// Class classifies a recovered panic value.
+type Class int
+
+const (
+	// ClassTransient faults may succeed on retry (node fault, kill).
+	ClassTransient Class = iota
+	// ClassPersistent faults will recur on every attempt; retrying only
+	// burns time, so the assignment is quarantined immediately.
+	ClassPersistent
+)
+
+// Classifier maps a recovered panic value to a fault class.
+type Classifier func(v any) Class
+
+// DefaultClassify treats every panic as a transient infrastructure
+// fault — the search would rather waste a few retries than abort — but
+// honors a `Transient() bool` method on the panic value (implemented by
+// search.InjectedFault's crash-on-key mode, and available to any real
+// evaluator that can tell a poisoned config from a flaky node).
+func DefaultClassify(v any) Class {
+	if t, ok := v.(interface{ Transient() bool }); ok && !t.Transient() {
+		return ClassPersistent
+	}
+	return ClassTransient
+}
+
+// EventType tags a resilience event.
+type EventType string
+
+// Event types, also used verbatim as journal sidecar record types.
+const (
+	// EventRetry: a transient fault was absorbed and the attempt retried.
+	EventRetry EventType = "retry"
+	// EventQuarantine: retries exhausted (or the fault was persistent);
+	// the assignment is quarantined and evaluates to StatusInfra.
+	EventQuarantine EventType = "quarantine"
+	// EventBreakerTrip: too many consecutive quarantines; the search is
+	// failing fast with a partial report.
+	EventBreakerTrip EventType = "breaker_trip"
+)
+
+// Event is one observable resilience decision. Events are emitted on
+// the evaluating goroutine, in decision order; under parallel
+// evaluation their interleaving across assignments is nondeterministic
+// (the evaluation *log* stays deterministic regardless).
+type Event struct {
+	Type EventType
+	// Key is the canonical assignment key the event concerns.
+	Key string
+	// Attempt is the 1-based attempt that faulted (EventRetry) or the
+	// total attempts spent before quarantining (EventQuarantine).
+	Attempt int
+	// Fault is the rendered panic value.
+	Fault string
+}
+
+// Stats is a snapshot of supervisor counters.
+type Stats struct {
+	// Evaluations is the number of Evaluate calls answered, including
+	// quarantine short-circuits.
+	Evaluations int64
+	// Attempts is the number of inner evaluator invocations.
+	Attempts int64
+	// Retried is the number of faulted attempts that were retried.
+	Retried int64
+	// Recovered is the number of evaluations that succeeded after at
+	// least one retry.
+	Recovered int64
+	// Quarantined is the number of quarantined assignments, including
+	// those preloaded from a resumed run's event journal.
+	Quarantined int
+	// BreakerTripped reports whether the circuit breaker has tripped.
+	BreakerTripped bool
+}
+
+// AbortReason says why the supervisor terminated the search.
+type AbortReason int
+
+const (
+	// AbortBreaker: too many consecutive hard infrastructure failures.
+	AbortBreaker AbortReason = iota
+	// AbortQuarantine: the quarantine budget (MaxQuarantined) was
+	// exhausted — so many distinct assignments are poisoned that the
+	// search's coverage is no longer meaningful.
+	AbortQuarantine
+)
+
+func (r AbortReason) String() string {
+	if r == AbortQuarantine {
+		return "quarantine budget exhausted"
+	}
+	return "circuit breaker tripped"
+}
+
+// AbortError is the panic value the supervisor fails fast with. It
+// implements search.Abort, so the batched search salvages completed
+// sibling results before unwinding, and error, so the tuner can return
+// it alongside the partial result.
+type AbortError struct {
+	Reason AbortReason
+	// Consecutive is the consecutive hard-failure count at trip time.
+	Consecutive int
+	// Quarantined is the total quarantined-assignment count.
+	Quarantined int
+	// LastFault is the rendered fault that pushed it over.
+	LastFault string
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("resilience: %s after %d consecutive hard infrastructure failure(s) (%d assignment(s) quarantined; last fault: %s)",
+		e.Reason, e.Consecutive, e.Quarantined, e.LastFault)
+}
+
+// SearchAbort implements search.Abort.
+func (e *AbortError) SearchAbort() string { return e.Error() }
+
+// Supervised wraps a search.Evaluator with panic recovery, retry,
+// quarantine, and a circuit breaker. It is safe for concurrent use (the
+// batched search evaluates through it from many goroutines). The zero
+// value of every knob is usable: no retries, default classifier and
+// backoff, breaker disabled.
+type Supervised struct {
+	// Inner is the wrapped evaluator (required).
+	Inner search.Evaluator
+	// MaxRetries bounds retries of transient faults per evaluation (the
+	// first attempt is not a retry; MaxRetries=3 allows 4 attempts).
+	MaxRetries int
+	// Breaker trips the circuit breaker after this many consecutive
+	// quarantines (hard infrastructure failures with no intervening
+	// success). 0 disables the breaker.
+	Breaker int
+	// MaxQuarantined aborts the search once more than this many distinct
+	// assignments are quarantined. 0 = unlimited.
+	MaxQuarantined int
+	// Classify overrides DefaultClassify.
+	Classify Classifier
+	// Backoff shapes the retry delay (zero value = defaults).
+	Backoff Backoff
+	// Sleep overrides time.Sleep between retries (tests inject a no-op).
+	Sleep func(time.Duration)
+	// OnEvent observes retry/quarantine/breaker decisions; the tuner
+	// bridges it to the journal's events sidecar. Called on the
+	// evaluating goroutine; a panic here propagates like an evaluator
+	// panic would, but is not classified or retried.
+	OnEvent func(Event)
+
+	mu          sync.Mutex
+	quarantined map[string]string // assignment key -> rendered fault
+	consecutive int
+	tripped     bool
+	stats       Stats
+}
+
+// Quarantine preloads a quarantined assignment (typically replayed from
+// a resumed run's event journal): evaluating it returns StatusInfra
+// without touching the inner evaluator, so a poisoned configuration
+// cannot re-crash a resumed search.
+func (s *Supervised) Quarantine(key, fault string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.quarantined == nil {
+		s.quarantined = make(map[string]string)
+	}
+	if _, ok := s.quarantined[key]; !ok {
+		s.quarantined[key] = fault
+		s.stats.Quarantined++
+	}
+}
+
+// Quarantined returns the quarantined assignment keys, sorted.
+func (s *Supervised) Quarantined() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.quarantined))
+	for k := range s.quarantined {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Stats returns a snapshot of the supervisor counters.
+func (s *Supervised) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Supervised) classify(v any) Class {
+	if s.Classify != nil {
+		return s.Classify(v)
+	}
+	return DefaultClassify(v)
+}
+
+func (s *Supervised) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if s.Sleep != nil {
+		s.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+func (s *Supervised) event(e Event) {
+	if s.OnEvent != nil {
+		s.OnEvent(e)
+	}
+}
+
+// attempt runs one inner evaluation, converting a panic into a fault
+// value. fault is nil on success.
+func (s *Supervised) attempt(a transform.Assignment) (ev *search.Evaluation, fault any) {
+	defer func() {
+		if r := recover(); r != nil {
+			fault = r
+		}
+	}()
+	s.mu.Lock()
+	s.stats.Attempts++
+	s.mu.Unlock()
+	return s.Inner.Evaluate(a), nil
+}
+
+// quarantineDetail renders the StatusInfra detail for a quarantined
+// assignment. It must be a pure function of the fault text so the
+// record a crashed run journaled and the record a resumed run rebuilds
+// from the event journal are identical.
+func quarantineDetail(fault string) string { return "quarantined: " + fault }
+
+// Evaluate implements search.Evaluator.
+func (s *Supervised) Evaluate(a transform.Assignment) *search.Evaluation {
+	key := a.Key()
+
+	s.mu.Lock()
+	s.stats.Evaluations++
+	if s.tripped {
+		abort := &AbortError{Reason: AbortBreaker, Consecutive: s.consecutive,
+			Quarantined: len(s.quarantined), LastFault: "breaker already open"}
+		s.mu.Unlock()
+		panic(abort)
+	}
+	fault, poisoned := s.quarantined[key]
+	s.mu.Unlock()
+	if poisoned {
+		return s.infraEvaluation(a, fault)
+	}
+
+	var lastFault string
+	for attempt := 0; ; attempt++ {
+		ev, fault := s.attempt(a)
+		if fault == nil {
+			s.mu.Lock()
+			s.consecutive = 0
+			if attempt > 0 {
+				s.stats.Recovered++
+			}
+			s.mu.Unlock()
+			return ev
+		}
+		lastFault = renderFault(fault)
+		if s.classify(fault) == ClassTransient && attempt < s.MaxRetries {
+			s.mu.Lock()
+			s.stats.Retried++
+			s.mu.Unlock()
+			s.event(Event{Type: EventRetry, Key: key, Attempt: attempt + 1, Fault: lastFault})
+			s.sleep(s.Backoff.Delay(key, attempt))
+			continue
+		}
+		// Hard infrastructure failure: quarantine the assignment. Two
+		// workers can race to exhaust retries on the same key (batched
+		// duplicates are deduplicated upstream, but nothing forbids it);
+		// only the first counts.
+		s.mu.Lock()
+		if s.quarantined == nil {
+			s.quarantined = make(map[string]string)
+		}
+		if _, dup := s.quarantined[key]; !dup {
+			s.quarantined[key] = lastFault
+			s.stats.Quarantined++
+		}
+		s.consecutive++
+		trip := s.Breaker > 0 && s.consecutive >= s.Breaker
+		exhausted := s.MaxQuarantined > 0 && len(s.quarantined) > s.MaxQuarantined
+		abort := &AbortError{Consecutive: s.consecutive,
+			Quarantined: len(s.quarantined), LastFault: lastFault}
+		if trip {
+			s.tripped = true
+			s.stats.BreakerTripped = true
+		}
+		s.mu.Unlock()
+
+		s.event(Event{Type: EventQuarantine, Key: key, Attempt: attempt + 1, Fault: lastFault})
+		switch {
+		case trip:
+			abort.Reason = AbortBreaker
+			s.event(Event{Type: EventBreakerTrip, Key: key, Fault: lastFault})
+			panic(abort)
+		case exhausted:
+			abort.Reason = AbortQuarantine
+			panic(abort)
+		}
+		return s.infraEvaluation(a, lastFault)
+	}
+}
+
+// infraEvaluation builds the StatusInfra evaluation for a quarantined
+// assignment.
+func (s *Supervised) infraEvaluation(a transform.Assignment, fault string) *search.Evaluation {
+	return &search.Evaluation{
+		Assignment: a,
+		Status:     search.StatusInfra,
+		Lowered:    a.Lowered(),
+		Detail:     quarantineDetail(fault),
+	}
+}
+
+// renderFault formats a recovered panic value.
+func renderFault(v any) string {
+	if err, ok := v.(error); ok {
+		return err.Error()
+	}
+	return fmt.Sprint(v)
+}

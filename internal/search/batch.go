@@ -22,9 +22,23 @@ import (
 // Crash safety: if the evaluator panics, the completed results that
 // precede the first panic in batch order are still flushed to the log —
 // and through its OnAdd observer to any journal — before the original
-// panic value is re-raised on the caller's goroutine. Results at or
-// after the first panicked slot are discarded, so the log (and journal)
-// remain an exact prefix of the deterministic evaluation order.
+// panic value is re-raised on the caller's goroutine, so the log (and
+// journal) remain an exact prefix of the deterministic evaluation order.
+//
+// What happens to completed results at or after the first panicked slot
+// depends on the panic:
+//
+//   - An uncontrolled crash (any ordinary panic value) discards them:
+//     nothing can be assumed about process state, and the journal prefix
+//     invariant is the resume contract.
+//   - A supervised Abort (a tripped circuit breaker failing the search
+//     fast) salvages every completed fresh result, in deterministic
+//     batch order, into Log.Salvaged — and through the OnSalvage
+//     observer to the journal's sidecar — before re-raising. They cannot
+//     enter the log proper (their deterministic slots were never
+//     reached), but a resumed search serves them from the warm cache,
+//     so a worker failure no longer silently wastes the paid-for
+//     evaluations of its siblings.
 func batchEval(log *Log, eval Evaluator, batch []transform.Assignment, parallelism int) []*Evaluation {
 	if parallelism < 1 {
 		parallelism = 1
@@ -33,9 +47,10 @@ func batchEval(log *Log, eval Evaluator, batch []transform.Assignment, paralleli
 
 	// Identify the distinct, not-yet-cached assignments.
 	type job struct {
-		idx  int         // first batch index needing this evaluation
-		a    transform.Assignment
-		warm *Evaluation // prior record served without evaluation
+		idx      int // first batch index needing this evaluation
+		a        transform.Assignment
+		warm     *Evaluation // prior record served without evaluation
+		salvaged bool        // warm record came from a salvage sidecar
 	}
 	var jobs []job
 	firstByKey := make(map[string]int)
@@ -49,8 +64,9 @@ func batchEval(log *Log, eval Evaluator, batch []transform.Assignment, paralleli
 		}
 		firstByKey[k] = i
 		j := job{idx: i, a: a}
-		if ev, ok := log.fromWarm(a); ok {
-			j.warm = ev
+		if we, ok := log.fromWarm(a); ok {
+			j.warm = we.ev
+			j.salvaged = we.salvaged
 		}
 		jobs = append(jobs, j)
 	}
@@ -84,12 +100,26 @@ func batchEval(log *Log, eval Evaluator, batch []transform.Assignment, paralleli
 	wg.Wait()
 
 	// Log in deterministic (batch) order, then resolve every slot. On a
-	// panic, flush only the contiguous completed prefix and re-raise.
-	for ji, ev := range fresh {
-		if panics[ji] != nil {
-			panic(panics[ji])
+	// panic, flush the contiguous completed prefix; if the panic is a
+	// supervised Abort, additionally salvage the completed fresh results
+	// past the panicked slot (still in batch order) before re-raising.
+	for ji := range jobs {
+		if r := panics[ji]; r != nil {
+			if _, ok := r.(Abort); ok {
+				for kj := ji + 1; kj < len(jobs); kj++ {
+					// Warm-served entries are already durable (as journal
+					// records or prior salvage events); only freshly paid-for
+					// evaluations need rescuing.
+					if panics[kj] == nil && fresh[kj] != nil && jobs[kj].warm == nil {
+						log.salvage(fresh[kj])
+					}
+				}
+			}
+			panic(r)
 		}
-		log.add(ev, jobs[ji].warm != nil)
+		// A salvaged warm record was never durable in the journal proper:
+		// report it as fresh so the journal hook appends it at this index.
+		log.add(fresh[ji], jobs[ji].warm != nil && !jobs[ji].salvaged)
 	}
 	for i, a := range batch {
 		ev, ok := log.Lookup(a)

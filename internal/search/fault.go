@@ -2,6 +2,8 @@ package search
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/transform"
@@ -18,43 +20,131 @@ const (
 	// FaultError returns a StatusError evaluation instead, simulating a
 	// persistently failing toolchain.
 	FaultError
+	// FaultFlaky panics probabilistically: attempt k on assignment key K
+	// is killed iff a hash of (Seed, K, k) falls below Rate. The decision
+	// is a pure function of the key and the per-key attempt number, so it
+	// is deterministic and independent of evaluation order and
+	// parallelism — and distinct across attempts, so a supervised retry
+	// can succeed where the first attempt died. This is the transient
+	// infrastructure noise (node faults, scheduler kills) a resilient
+	// search must absorb without changing its evaluation log.
+	FaultFlaky
+	// FaultCrashKey panics on every evaluation of the assignment whose
+	// canonical key equals CrashKey — a poisoned configuration that no
+	// retry cures. A resilience supervisor must quarantine it rather
+	// than die, and a resumed run must not re-crash on it.
+	FaultCrashKey
 )
 
-// InjectedFault is the panic value raised by a FaultInjector in
-// FaultPanic mode.
+// InjectedFault is the panic value raised by a FaultInjector.
 type InjectedFault struct {
 	// After is the number of evaluations that completed before the
-	// fault fired.
+	// fault fired (FaultPanic mode).
 	After int64
+	// Key is the canonical assignment key the fault fired on
+	// (FaultFlaky and FaultCrashKey modes).
+	Key string
+	// Attempt is the 1-based per-key attempt number (FaultFlaky mode).
+	Attempt int64
+	// Persistent marks a fault that retrying cannot cure (FaultCrashKey
+	// mode).
+	Persistent bool
 }
 
 func (e *InjectedFault) Error() string {
-	return fmt.Sprintf("search: injected fault after %d evaluations", e.After)
+	switch {
+	case e.Persistent:
+		// Deliberately excludes attempt counts: quarantine details built
+		// from this message must be identical across runs and resumes.
+		return fmt.Sprintf("search: injected crash on %q", e.Key)
+	case e.Key != "":
+		return fmt.Sprintf("search: injected flaky fault on %q (attempt %d)", e.Key, e.Attempt)
+	default:
+		return fmt.Sprintf("search: injected fault after %d evaluations", e.After)
+	}
 }
 
-// FaultInjector wraps an Evaluator and fails once Limit evaluations
-// have completed — the harness behind the crash-safety tests: killing a
+// Transient reports whether retrying the evaluation could succeed. The
+// resilience supervisor's default classifier honors it: persistent
+// faults skip the retry loop and quarantine immediately.
+func (e *InjectedFault) Transient() bool { return !e.Persistent }
+
+// FaultInjector wraps an Evaluator and injects failures per Mode — the
+// harness behind the crash-safety and resilience tests: killing a
 // journaled search at *any* evaluation and resuming must reproduce the
-// byte-identical evaluation log of an uninterrupted run. It is safe for
-// concurrent use, as batched searches require.
+// byte-identical evaluation log of an uninterrupted run, and a
+// supervised search must absorb flaky faults (and quarantine persistent
+// ones) without distorting that log. It is safe for concurrent use, as
+// batched searches require.
 type FaultInjector struct {
 	Inner Evaluator
-	Limit int64 // evaluations allowed before the fault fires
+	// Limit is the number of evaluations allowed before the fault fires
+	// (FaultPanic and FaultError modes).
+	Limit int64
 	Mode  FaultMode
+	// Rate is the per-attempt kill probability in FaultFlaky mode.
+	Rate float64
+	// Seed drives the FaultFlaky hash.
+	Seed int64
+	// CrashKey is the poisoned canonical assignment key in FaultCrashKey
+	// mode.
+	CrashKey string
 
-	n atomic.Int64
+	n        atomic.Int64
+	attempts sync.Map // assignment key -> *atomic.Int64 (FaultFlaky)
 }
 
 // Calls returns the number of Evaluate calls admitted so far.
 func (f *FaultInjector) Calls() int64 { return f.n.Load() }
 
+// bump returns the 1-based attempt number for key.
+func (f *FaultInjector) bump(key string) int64 {
+	c, _ := f.attempts.LoadOrStore(key, new(atomic.Int64))
+	return c.(*atomic.Int64).Add(1)
+}
+
+// faultFrac hashes (seed, key, attempt) to a uniform fraction in [0, 1).
+// FNV-1a alone avalanches its final bytes poorly (a trailing counter
+// only perturbs the low ~42 bits), so the sum is passed through a
+// 64-bit finalizer before taking the high bits.
+func faultFrac(seed int64, key string, attempt int64) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", seed, key, attempt)
+	return float64(mix64(h.Sum64())>>11) / float64(1<<53)
+}
+
+// mix64 is the MurmurHash3 fmix64 finalizer: a bijective scramble whose
+// every output bit depends on every input bit.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
 // Evaluate implements Evaluator.
 func (f *FaultInjector) Evaluate(a transform.Assignment) *Evaluation {
-	if f.n.Add(1) > f.Limit {
-		if f.Mode == FaultError {
-			return &Evaluation{Assignment: a, Status: StatusError, Detail: "injected fault"}
+	n := f.n.Add(1)
+	switch f.Mode {
+	case FaultFlaky:
+		key := a.Key()
+		attempt := f.bump(key)
+		if faultFrac(f.Seed, key, attempt) < f.Rate {
+			panic(&InjectedFault{Key: key, Attempt: attempt})
 		}
-		panic(&InjectedFault{After: f.Limit})
+	case FaultCrashKey:
+		if a.Key() == f.CrashKey {
+			panic(&InjectedFault{Key: f.CrashKey, Persistent: true})
+		}
+	default:
+		if n > f.Limit {
+			if f.Mode == FaultError {
+				return &Evaluation{Assignment: a, Status: StatusError, Detail: "injected fault"}
+			}
+			panic(&InjectedFault{After: f.Limit})
+		}
 	}
 	return f.Inner.Evaluate(a)
 }

@@ -237,6 +237,93 @@ func TestFaultErrorMode(t *testing.T) {
 	}
 }
 
+// TestFlakyModeDeterministicPerAttempt: the flaky kill decision is a
+// pure function of (seed, key, attempt): two injectors with the same
+// seed agree everywhere, attempt numbers advance per key, and the
+// boundary rates behave (0 never fires, 1 always fires).
+func TestFlakyModeDeterministicPerAttempt(t *testing.T) {
+	a := transform.Assignment{"m.p.v01": 4}
+	probe := func(inj *FaultInjector) (killed []bool) {
+		for i := 0; i < 8; i++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						f := r.(*InjectedFault)
+						if f.Key != a.Key() || f.Attempt != int64(i+1) {
+							t.Fatalf("fault = %+v at attempt %d", f, i+1)
+						}
+						if f.Persistent {
+							t.Fatal("flaky fault marked persistent")
+						}
+						killed = append(killed, true)
+					}
+				}()
+				inj.Evaluate(a)
+				killed = append(killed, false)
+			}()
+		}
+		return
+	}
+	atoms, fe, _ := crashTarget()
+	_ = atoms
+	i1 := &FaultInjector{Inner: fe, Mode: FaultFlaky, Rate: 0.5, Seed: 9}
+	i2 := &FaultInjector{Inner: fe, Mode: FaultFlaky, Rate: 0.5, Seed: 9}
+	k1, k2 := probe(i1), probe(i2)
+	if fmt.Sprint(k1) != fmt.Sprint(k2) {
+		t.Errorf("same seed, different kill pattern: %v vs %v", k1, k2)
+	}
+	varies := false
+	for _, k := range k1 {
+		if k != k1[0] {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Errorf("kill pattern %v does not vary across attempts (rate 0.5, 8 attempts)", k1)
+	}
+	for _, k := range probe(&FaultInjector{Inner: fe, Mode: FaultFlaky, Rate: 0, Seed: 9}) {
+		if k {
+			t.Fatal("rate 0 fired")
+		}
+	}
+	for _, k := range probe(&FaultInjector{Inner: fe, Mode: FaultFlaky, Rate: 1, Seed: 9}) {
+		if !k {
+			t.Fatal("rate 1 did not fire")
+		}
+	}
+}
+
+// TestCrashKeyMode: the poisoned key panics with a persistent fault on
+// every attempt and a stable message; other keys evaluate normally.
+func TestCrashKeyMode(t *testing.T) {
+	_, fe, _ := crashTarget()
+	poison := transform.Assignment{"m.p.v01": 4}
+	inj := &FaultInjector{Inner: fe, Mode: FaultCrashKey, CrashKey: poison.Key()}
+	if ev := inj.Evaluate(transform.Assignment{"m.p.v02": 4}); ev.Status != StatusPass {
+		t.Fatalf("healthy key status = %v", ev.Status)
+	}
+	var msgs []string
+	for i := 0; i < 2; i++ {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("poisoned key did not panic")
+				}
+				f := r.(*InjectedFault)
+				if !f.Persistent || f.Transient() {
+					t.Fatalf("crash-key fault = %+v, want persistent", f)
+				}
+				msgs = append(msgs, f.Error())
+			}()
+			inj.Evaluate(poison)
+		}()
+	}
+	if msgs[0] != msgs[1] {
+		t.Errorf("persistent fault message unstable across attempts: %q vs %q — quarantine details must be byte-identical across resumes", msgs[0], msgs[1])
+	}
+}
+
 // TestBruteForceRejectsHugeAtomCount pins the 1<<n overflow guard.
 func TestBruteForceRejectsHugeAtomCount(t *testing.T) {
 	atoms := mkAtoms(MaxBruteForceAtoms + 1)

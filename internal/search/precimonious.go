@@ -42,10 +42,27 @@ type Options struct {
 	// resumed search replays past work for free and produces the same
 	// evaluation log as an uninterrupted run.
 	Warm map[string]*Evaluation
+	// Salvaged seeds prior evaluations recovered from an aborted run's
+	// salvage sidecar (see Log.Salvaged). Like Warm they are served
+	// without re-evaluation, but they replay as fresh (replayed=false)
+	// so the journal hook persists them at their deterministic index —
+	// they were never durable in the journal proper. A key present in
+	// both Warm and Salvaged is served from Warm.
+	Salvaged map[string]*Evaluation
 	// OnAdd observes every log append in deterministic order; replayed
 	// is true for records served from Warm. The crash journal appends
 	// (and fsyncs) fresh records from this hook.
 	OnAdd func(ev *Evaluation, replayed bool)
+	// OnSalvage observes evaluations salvaged when a supervised abort
+	// unwinds a batch (completed results past the panicked slot). The
+	// crash journal persists these to its events sidecar.
+	OnSalvage func(ev *Evaluation)
+	// Log, if non-nil, is the (empty) evaluation log the search records
+	// into, instead of creating its own. Callers that must render a
+	// partial report when the search aborts by panic — the resilience
+	// supervisor's circuit breaker fails fast this way — pre-create the
+	// log so the completed work survives the unwind.
+	Log *Log
 }
 
 // Precimonious runs the delta-debugging-based FPPT search of §III-B over
@@ -55,11 +72,18 @@ type Options struct {
 // evaluated is recorded in the returned Log (the data behind Table II
 // and Figures 5-7).
 func Precimonious(eval Evaluator, atoms []transform.Atom, opts Options) *Outcome {
-	log := NewLog()
+	log := opts.Log
+	if log == nil {
+		log = NewLog()
+	}
+	for k, ev := range opts.Salvaged {
+		log.SeedSalvaged(k, ev)
+	}
 	for k, ev := range opts.Warm {
-		log.SeedWarm(k, ev)
+		log.SeedWarm(k, ev) // journal records win over salvage events
 	}
 	log.SetOnAdd(opts.OnAdd)
+	log.SetOnSalvage(opts.OnSalvage)
 	out := &Outcome{Log: log, Converged: true}
 	if len(atoms) == 0 {
 		return out

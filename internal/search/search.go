@@ -19,6 +19,17 @@ const (
 	StatusFail                  // ran to completion, error above threshold
 	StatusTimeout               // exceeded 3x the baseline budget
 	StatusError                 // runtime failure (non-finite values, bounds, ...)
+
+	// StatusInfra marks an evaluation whose variant outcome could not be
+	// determined because the evaluation *infrastructure* failed
+	// persistently — the assignment was quarantined by a resilience
+	// supervisor after repeated worker panics. It is deliberately not one
+	// of the four Table II buckets above: pass/fail/timeout/error are
+	// deterministic properties of the assignment, while an infra record
+	// says only "we could not find out". Counts excludes it so
+	// retry/quarantine machinery cannot distort the paper's outcome
+	// statistics.
+	StatusInfra
 )
 
 func (s Status) String() string {
@@ -31,9 +42,24 @@ func (s Status) String() string {
 		return "timeout"
 	case StatusError:
 		return "error"
+	case StatusInfra:
+		return "infra"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
+}
+
+// Abort is implemented by panic values that represent a deliberate,
+// supervised termination of the search (a tripped circuit breaker, an
+// exhausted quarantine budget) rather than an uncontrolled crash. When a
+// batched evaluation is unwound by an Abort, completed sibling results
+// are salvaged into Log.Salvaged before the panic propagates, so
+// paid-for evaluations survive to the next resume instead of being
+// silently discarded.
+type Abort interface {
+	error
+	// SearchAbort describes why the search was terminated.
+	SearchAbort() string
 }
 
 // Evaluation is the outcome of dynamically evaluating one variant
@@ -78,22 +104,42 @@ func (c Criteria) Accept(ev *Evaluation) bool {
 	return ev.Status == StatusPass && ev.RelError <= c.MaxRelError && ev.Speedup >= c.MinSpeedup
 }
 
+// warmEntry is one warm-cache record. salvaged marks an evaluation
+// recovered from a supervised abort's salvage sidecar rather than the
+// journal proper: it is served without re-evaluation like any warm
+// record, but is reported to OnAdd as fresh (replayed=false) so the
+// journal hook persists it at its proper deterministic index.
+type warmEntry struct {
+	ev       *Evaluation
+	salvaged bool
+}
+
 // Log records every variant explored by a search, for Table II and
 // Figures 5–7.
 type Log struct {
 	Evals []*Evaluation
 	cache map[string]*Evaluation
 
+	// Salvaged holds completed evaluations that could not be appended to
+	// Evals because a supervised abort unwound the batch before their
+	// deterministic slot was reached (an earlier slot panicked). They are
+	// recorded in batch order. A journal layer persists them out-of-band
+	// (see SetOnSalvage) so a resumed search serves them from the warm
+	// cache instead of paying for the evaluation again.
+	Salvaged []*Evaluation
+
 	// warm holds prior evaluations (typically replayed from a crash
 	// journal) keyed by canonical assignment key. When the search
 	// proposes an assignment found here, the prior record is appended to
 	// the log in place of a fresh evaluation, so a resumed search
 	// replays to the point of death without re-running anything.
-	warm map[string]*Evaluation
+	warm map[string]warmEntry
 	// onAdd observes every Add in deterministic log order; replayed
 	// marks records served from the warm cache. The crash journal hooks
 	// in here.
 	onAdd func(ev *Evaluation, replayed bool)
+	// onSalvage observes every salvaged evaluation, in batch order.
+	onSalvage func(ev *Evaluation)
 }
 
 // NewLog returns an empty evaluation log.
@@ -112,18 +158,42 @@ func (l *Log) Lookup(a transform.Assignment) (*Evaluation, bool) {
 // being re-evaluated.
 func (l *Log) SeedWarm(key string, ev *Evaluation) {
 	if l.warm == nil {
-		l.warm = make(map[string]*Evaluation)
+		l.warm = make(map[string]warmEntry)
 	}
-	l.warm[key] = ev
+	l.warm[key] = warmEntry{ev: ev}
+}
+
+// SeedSalvaged registers an evaluation salvaged from an aborted run's
+// sidecar. Like SeedWarm it is served without re-evaluation, but it is
+// reported to OnAdd as fresh (replayed=false) because it was never
+// durable in the journal proper: the journal hook appends it at the
+// deterministic index the resumed search assigns.
+func (l *Log) SeedSalvaged(key string, ev *Evaluation) {
+	if l.warm == nil {
+		l.warm = make(map[string]warmEntry)
+	}
+	l.warm[key] = warmEntry{ev: ev, salvaged: true}
 }
 
 // SetOnAdd installs the add observer (nil to remove).
 func (l *Log) SetOnAdd(fn func(ev *Evaluation, replayed bool)) { l.onAdd = fn }
 
+// SetOnSalvage installs the salvage observer (nil to remove).
+func (l *Log) SetOnSalvage(fn func(ev *Evaluation)) { l.onSalvage = fn }
+
 // fromWarm returns the warm-cache record for an assignment, if any.
-func (l *Log) fromWarm(a transform.Assignment) (*Evaluation, bool) {
+func (l *Log) fromWarm(a transform.Assignment) (warmEntry, bool) {
 	ev, ok := l.warm[a.Key()]
 	return ev, ok
+}
+
+// salvage records a completed evaluation that lost its slot to a
+// supervised abort earlier in the batch.
+func (l *Log) salvage(ev *Evaluation) {
+	l.Salvaged = append(l.Salvaged, ev)
+	if l.onSalvage != nil {
+		l.onSalvage(ev)
+	}
 }
 
 // Add records an evaluation.
@@ -138,10 +208,12 @@ func (l *Log) add(ev *Evaluation, replayed bool) {
 	}
 }
 
-// Counts tallies outcomes as in Table II.
+// Counts tallies variant outcomes as in Table II. StatusInfra records —
+// assignments whose outcome is unknown because the infrastructure failed
+// — are excluded entirely (see InfraCount), so retries and quarantines
+// can never distort the paper's outcome statistics.
 func (l *Log) Counts() (total int, pass, fail, timeout, errs int) {
 	for _, ev := range l.Evals {
-		total++
 		switch ev.Status {
 		case StatusPass:
 			pass++
@@ -151,9 +223,25 @@ func (l *Log) Counts() (total int, pass, fail, timeout, errs int) {
 			timeout++
 		case StatusError:
 			errs++
+		default:
+			continue // StatusInfra: not a variant outcome
 		}
+		total++
 	}
 	return
+}
+
+// InfraCount returns the number of logged evaluations whose variant
+// outcome is unknown due to persistent infrastructure failure
+// (StatusInfra).
+func (l *Log) InfraCount() int {
+	n := 0
+	for _, ev := range l.Evals {
+		if ev.Status == StatusInfra {
+			n++
+		}
+	}
+	return n
 }
 
 // Best returns the accepted evaluation with the highest speedup, or nil.

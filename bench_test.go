@@ -74,7 +74,7 @@ func BenchmarkFig2Funarc(b *testing.B) {
 	var r *experiments.Fig2Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = experiments.Fig2(1)
+		r, err = experiments.Fig2(nil, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +152,7 @@ func BenchmarkStaticFilterAblation(b *testing.B) {
 	var r *experiments.AblationResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = experiments.Ablation(1)
+		r, err = experiments.Ablation(nil, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -197,7 +197,7 @@ func BenchmarkFullTuningCycle(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err = t.Run()
+		res, err = t.Run(nil)
 		if err != nil {
 			b.Fatal(err)
 		}

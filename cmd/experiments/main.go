@@ -15,27 +15,80 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"repro/internal/experiments"
+	"repro/internal/resilience"
+	"repro/internal/search"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "noise seed for all searches")
 	htmlDir := flag.String("html", "", "directory to write HTML figures into (optional)")
 	only := flag.String("only", "", "run only one experiment: table1, table2, fig2, fig5, fig6, fig7, ablation, noise, predictor, machine")
+	journalDir := flag.String("journal-dir", "", "directory for per-search crash-safe journals + events sidecars (optional)")
+	resume := flag.Bool("resume", false, "resume the journals in -journal-dir")
+	retries := flag.Int("retries", 0, "retry transient evaluation-infrastructure faults up to N times per evaluation")
+	retriesByClass := flag.String("retries-by-class", "", "per-class retry budgets as kind=N,kind=N (default with -retries N: scheduler-kill=2N, oom=max(1,N/2), hang=N)")
+	watchdog := flag.Duration("watchdog", 0, "abandon a hung evaluation attempt after this wall-clock time (0 = no watchdog)")
+	breaker := flag.Int("breaker", 0, "fail a search fast after N consecutive hard infrastructure failures")
+	halfOpen := flag.Bool("breaker-halfopen", false, "probe one evaluation after the breaker trips instead of aborting")
+	wallBudget := flag.Duration("wall-budget", 0, "stop the whole sweep in an orderly fashion after this wall-clock time (exit code 5; 0 = unlimited)")
+	drainGrace := flag.Duration("drain-grace", 0, "let in-flight evaluations keep running this long after a stop before hard-cancelling them (0 = drain to completion)")
 	flag.Parse()
 
-	if err := run(*seed, *htmlDir, *only); err != nil {
+	byClass, err := resilience.ParseRetryBudgets(*retriesByClass)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	if byClass == nil {
+		byClass = resilience.DefaultRetryBudgets(*retries)
+	}
+	if *resume && *journalDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume requires -journal-dir")
+		os.Exit(2)
+	}
+	sopts := experiments.Options{
+		JournalDir: *journalDir, Resume: *resume,
+		Retries: *retries, RetriesByClass: byClass,
+		Watchdog: *watchdog, Breaker: *breaker, HalfOpen: *halfOpen,
+		DrainGrace: *drainGrace,
+	}
+
+	// The same deadline layers as prose tune: SIGINT/SIGTERM and
+	// -wall-budget cancel the context; searches stop in an orderly
+	// fashion and journals (with -journal-dir) stay resumable.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *wallBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *wallBudget)
+		defer cancel()
+	}
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
+
+	if err := run(ctx, *seed, *htmlDir, *only, sopts); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		var cancelled *search.Cancelled
+		if errors.As(err, &cancelled) {
+			os.Exit(5)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, htmlDir, only string) error {
+func run(ctx context.Context, seed int64, htmlDir, only string, sopts experiments.Options) error {
 	want := func(name string) bool { return only == "" || only == name }
 	var pages = map[string]string{}
 
@@ -47,7 +100,7 @@ func run(seed int64, htmlDir, only string) error {
 		fmt.Println(experiments.RenderTable1(rows))
 	}
 	if want("fig2") {
-		r, err := experiments.Fig2(seed)
+		r, err := experiments.Fig2(ctx, seed)
 		if err != nil {
 			return err
 		}
@@ -68,7 +121,7 @@ func run(seed int64, htmlDir, only string) error {
 	needSuite := want("table2") || want("fig5") || want("fig6") || want("fig7") || want("predictor")
 	if needSuite {
 		fmt.Fprintln(os.Stderr, "running the four delta-debugging searches (MPAS-A, ADCIRC, MOM6, MPAS-A whole-model)...")
-		s, err := experiments.RunSuite(seed)
+		s, err := experiments.RunSuiteOpts(ctx, seed, sopts)
 		if err != nil {
 			return err
 		}
@@ -99,7 +152,7 @@ func run(seed int64, htmlDir, only string) error {
 		}
 	}
 	if want("ablation") {
-		r, err := experiments.Ablation(seed)
+		r, err := experiments.Ablation(ctx, seed)
 		if err != nil {
 			return err
 		}

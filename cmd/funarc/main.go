@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +20,7 @@ func main() {
 	all := flag.Bool("all", false, "print every variant, not just the summary")
 	flag.Parse()
 
-	r, err := experiments.Fig2(*seed)
+	r, err := experiments.Fig2(context.Background(), *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "funarc:", err)
 		os.Exit(1)

@@ -10,19 +10,25 @@
 //	prose tune     -model NAME [...]   run the delta-debugging search
 //	prose variant  -model NAME [...]   generate and print one variant
 //	prose reduce   -model NAME -targets a,b  taint-based program reduction
+//	prose journal  <path>              inspect a journal + events sidecar
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/blame"
 	"repro/internal/core"
 	ft "repro/internal/fortran"
+	"repro/internal/journal"
 	"repro/internal/models"
 	"repro/internal/resilience"
 	"repro/internal/search"
@@ -30,13 +36,35 @@ import (
 )
 
 // Exit codes. A supervised search that failed fast still prints its
-// partial report before exiting; scripts distinguish the abort kinds.
+// partial report before exiting; scripts distinguish the abort kinds. A
+// cancelled run (signal or wall-clock budget) exits 5 after flushing a
+// resumable journal, so a scheduler can chain a -resume job on it.
 const (
 	exitErr        = 1 // generic failure
 	exitUsage      = 2 // bad invocation
 	exitBreaker    = 3 // resilience circuit breaker tripped
 	exitQuarantine = 4 // resilience quarantine budget exhausted
+	exitCancelled  = 5 // orderly shutdown: signal or wall-clock budget
 )
+
+// exitCodeFor maps a command error to the process exit code.
+func exitCodeFor(err error) int {
+	if err == nil {
+		return 0
+	}
+	var abort *resilience.AbortError
+	if errors.As(err, &abort) {
+		if abort.Reason == resilience.AbortQuarantine {
+			return exitQuarantine
+		}
+		return exitBreaker
+	}
+	var cancelled *search.Cancelled
+	if errors.As(err, &cancelled) {
+		return exitCancelled
+	}
+	return exitErr
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -59,6 +87,8 @@ func main() {
 		err = cmdReduce(os.Args[2:])
 	case "blame":
 		err = cmdBlame(os.Args[2:])
+	case "journal":
+		err = cmdJournal(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -68,14 +98,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "prose:", err)
-		var abort *resilience.AbortError
-		if errors.As(err, &abort) {
-			if abort.Reason == resilience.AbortQuarantine {
-				os.Exit(exitQuarantine)
-			}
-			os.Exit(exitBreaker)
-		}
-		os.Exit(exitErr)
+		os.Exit(exitCodeFor(err))
 	}
 }
 
@@ -90,6 +113,7 @@ commands:
   variant    apply a precision assignment and print the generated source
   reduce     taint-based program reduction for target variables (paper III-C)
   blame      one-at-a-time precision sensitivity ranking (ADAPT-style)
+  journal    inspect a crash-safe journal and its resilience events sidecar
 
 run 'prose <command> -h' for flags.
 `)
@@ -176,12 +200,24 @@ func cmdTune(args []string) error {
 	failfast := fs.Bool("failfast", false, "fail fast on the first hard infrastructure failure (same as -breaker 1)")
 	maxQuarantined := fs.Int("max-quarantined", 0, "abort once more than N distinct assignments are quarantined (0 = unlimited; exit code 4)")
 	backoff := fs.Duration("retry-backoff", 0, "base retry backoff (capped exponential with seeded jitter; 0 = default 100ms)")
+	retriesByClass := fs.String("retries-by-class", "", "per-class retry budgets as kind=N,kind=N (kinds: generic, scheduler-kill, oom, hang; default with -retries N: scheduler-kill=2N, oom=max(1,N/2), hang=N)")
+	watchdog := fs.Duration("watchdog", 0, "abandon an evaluation attempt that produces no result within this wall-clock time and treat it as a transient infrastructure fault (0 = no watchdog)")
+	halfOpen := fs.Bool("breaker-halfopen", false, "after the breaker trips, probe one evaluation (instead of aborting) and resume the search if it succeeds")
+	wallBudget := fs.Duration("wall-budget", 0, "stop the whole run in an orderly fashion after this wall-clock time (exit code 5, journal stays resumable; 0 = unlimited)")
+	drainGrace := fs.Duration("drain-grace", 0, "after a stop (signal or -wall-budget), let in-flight evaluations keep running this long before hard-cancelling them (0 = drain to completion)")
 	verbose := fs.Bool("v", false, "print each variant as it is evaluated")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *resume && *journalPath == "" {
 		return fmt.Errorf("tune: -resume requires -journal")
+	}
+	byClass, err := resilience.ParseRetryBudgets(*retriesByClass)
+	if err != nil {
+		return fmt.Errorf("tune: -retries-by-class: %w", err)
+	}
+	if byClass == nil {
+		byClass = resilience.DefaultRetryBudgets(*retries)
 	}
 	m, err := getModel(*name)
 	if err != nil {
@@ -192,6 +228,8 @@ func cmdTune(args []string) error {
 		Parallelism: *par, JournalPath: *journalPath, Resume: *resume,
 		Retries: *retries, Breaker: *breaker, FailFast: *failfast,
 		MaxQuarantined: *maxQuarantined, RetryBackoff: *backoff,
+		RetriesByClass: byClass, Watchdog: *watchdog,
+		HalfOpen: *halfOpen, DrainGrace: *drainGrace,
 	}
 	if *verbose {
 		opts.Progress = func(ev *search.Evaluation) {
@@ -199,11 +237,33 @@ func cmdTune(args []string) error {
 				ev.Pct32(), ev.Status, ev.Speedup, ev.RelError, ev.Detail)
 		}
 	}
+
+	// Deadline layers: SIGINT/SIGTERM cancel the run's context for a
+	// graceful shutdown (the batch scheduler's pre-kill warning lands
+	// here), and -wall-budget arms a self-imposed deadline below the
+	// scheduler's hard job limit. Both trigger the same orderly stop:
+	// drain (bounded by -drain-grace), flush the journal and a final
+	// checkpoint, print the partial report, exit 5.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *wallBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *wallBudget)
+		defer cancel()
+	}
+	// Once the orderly stop has begun, restore default signal handling
+	// so a second ^C (or a follow-up SIGTERM) kills the process hard
+	// instead of being swallowed by the drain.
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
+
 	t, err := core.New(m, opts)
 	if err != nil {
 		return err
 	}
-	res, err := t.Run()
+	res, err := t.Run(ctx)
 	if res == nil {
 		return err
 	}
@@ -328,6 +388,106 @@ func cmdBlame(args []string) error {
 	}
 	fmt.Print(rep.Render(*limit))
 	return nil
+}
+
+// cmdJournal inspects a crash-safe journal plus its checkpoint and
+// resilience events sidecar, read-only: record/status counts, resume
+// state, and the retry/backoff/quarantine/watchdog telemetry that the
+// byte-deterministic journal proper deliberately excludes.
+func cmdJournal(args []string) error {
+	fs := flag.NewFlagSet("journal", flag.ExitOnError)
+	path := fs.String("journal", "", "journal path to inspect (or pass it as the positional argument)")
+	records := fs.Bool("records", false, "also list every journaled evaluation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" && fs.NArg() == 1 {
+		*path = fs.Arg(0)
+	}
+	if *path == "" {
+		return fmt.Errorf("journal: usage: prose journal <path>")
+	}
+
+	h, recs, err := journal.Inspect(*path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("journal %s\n", *path)
+	fmt.Printf("  model: %s  fingerprint: %.12s...\n", h.Model, h.Fingerprint)
+	counts := map[string]int{}
+	for _, r := range recs {
+		counts[r.Status]++
+	}
+	fmt.Printf("  evaluations: %d  (%s)\n", len(recs), formatCounts(counts))
+	if *records {
+		for _, r := range recs {
+			fmt.Printf("  %4d  %-7s  speedup %6.3f  err %9.3e  lowered %d/%d  %s\n",
+				r.Index, r.Status, r.Speedup, r.RelError, r.Lowered, r.TotalAtoms, r.Detail)
+		}
+	}
+
+	if ck, ok, err := journal.LoadCheckpoint(journal.CheckpointPath(*path)); err != nil {
+		fmt.Printf("  checkpoint: unreadable (%v)\n", err)
+	} else if !ok {
+		fmt.Printf("  checkpoint: none\n")
+	} else if ck.Done {
+		fmt.Printf("  checkpoint: done after %d evaluation(s), converged=%v, minimal set %d atom(s)\n",
+			ck.Evaluations, ck.Converged, len(ck.Minimal))
+	} else {
+		fmt.Printf("  checkpoint: in progress at %d evaluation(s) — resumable with -resume\n", ck.Evaluations)
+	}
+
+	epath := journal.EventsPath(*path)
+	_, evs, err := journal.InspectEvents(epath)
+	if os.IsNotExist(err) {
+		fmt.Printf("  events: no sidecar (run was not supervised)\n")
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	byType := map[string]int{}
+	byKind := map[string]int{}
+	var totalBackoff time.Duration
+	for _, e := range evs {
+		byType[e.Type]++
+		if e.Kind != "" {
+			byKind[e.Kind]++
+		}
+		totalBackoff += time.Duration(e.BackoffNS)
+	}
+	fmt.Printf("events %s\n", epath)
+	fmt.Printf("  total: %d  (%s)\n", len(evs), formatCounts(byType))
+	if len(byKind) > 0 {
+		fmt.Printf("  fault kinds: %s\n", formatCounts(byKind))
+	}
+	if byType[journal.EventRetry] > 0 {
+		fmt.Printf("  backoff: %v slept across %d retry(ies)\n", totalBackoff, byType[journal.EventRetry])
+	}
+	if n := byType[journal.EventWatchdog]; n > 0 {
+		fmt.Printf("  watchdog: %d hung attempt(s) abandoned\n", n)
+	}
+	if n := byType[journal.EventSalvaged]; n > 0 {
+		fmt.Printf("  salvaged: %d evaluation(s) rescued from aborted batches\n", n)
+	}
+	if n := byType[journal.EventCancelled]; n > 0 {
+		fmt.Printf("  cancelled: %d orderly shutdown(s) recorded\n", n)
+	}
+	return nil
+}
+
+// formatCounts renders a count map as "k1 n1  k2 n2", keys sorted.
+func formatCounts(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s %d", k, m[k])
+	}
+	return strings.Join(parts, "  ")
 }
 
 func splitList(s string) []string {

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/resilience"
+	"repro/internal/search"
 )
 
 func TestSplitList(t *testing.T) {
@@ -84,6 +89,84 @@ func TestCommandHappyPaths(t *testing.T) {
 	}
 	if err := cmdReduce([]string{"-model", "funarc", "-targets", "funarc_mod.fun.d1"}); err != nil {
 		t.Errorf("reduce: %v", err)
+	}
+}
+
+// TestExitCodeFor: each failure class maps to its documented exit code
+// (see docs/resilience.md), including through error wrapping.
+func TestExitCodeFor(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{errors.New("boom"), exitErr},
+		{&resilience.AbortError{Reason: resilience.AbortBreaker}, exitBreaker},
+		{fmt.Errorf("wrapped: %w", &resilience.AbortError{Reason: resilience.AbortQuarantine}), exitQuarantine},
+		{search.NewCancelled(nil), exitCancelled},
+		{fmt.Errorf("wrapped: %w", search.NewCancelled(nil)), exitCancelled},
+	}
+	for _, c := range cases {
+		if got := exitCodeFor(c.err); got != c.want {
+			t.Errorf("exitCodeFor(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestTuneWallBudgetCancelsAndResumes: a tune whose wall-clock budget
+// expires stops in an orderly fashion — *search.Cancelled error, exit
+// code 5 — and leaves a journal that -resume completes.
+func TestTuneWallBudgetCancelsAndResumes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "funarc.jsonl")
+	err := cmdTune([]string{"-model", "funarc", "-journal", path, "-wall-budget", "10ms"})
+	var ce *search.Cancelled
+	if !errors.As(err, &ce) {
+		t.Fatalf("tune under a 10ms wall budget returned %v, want *search.Cancelled", err)
+	}
+	if got := exitCodeFor(err); got != exitCancelled {
+		t.Errorf("exit code %d, want %d", got, exitCancelled)
+	}
+	if err := cmdTune([]string{"-model", "funarc", "-journal", path, "-resume"}); err != nil {
+		t.Errorf("resume after wall-budget stop: %v", err)
+	}
+}
+
+// TestTuneDeadlineFlagsCLI: the new deadline/resilience flags parse and
+// a watchdogged, half-open, per-class-budgeted tune runs clean; bad
+// -retries-by-class syntax is rejected.
+func TestTuneDeadlineFlagsCLI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "funarc.jsonl")
+	if err := cmdTune([]string{"-model", "funarc", "-journal", path,
+		"-retries", "1", "-retries-by-class", "scheduler-kill=2,oom=1,hang=1",
+		"-watchdog", "30s", "-breaker", "3", "-breaker-halfopen",
+		"-drain-grace", "1s", "-retry-backoff", "1ns"}); err != nil {
+		t.Fatalf("deadline-flagged tune: %v", err)
+	}
+	if err := cmdTune([]string{"-model", "funarc", "-retries-by-class", "oom"}); err == nil {
+		t.Error("malformed -retries-by-class accepted")
+	}
+}
+
+// TestJournalInspectCLI: prose journal reads a journal, its checkpoint,
+// and its events sidecar without needing the tuner's fingerprint.
+func TestJournalInspectCLI(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "funarc.jsonl")
+	if err := cmdTune([]string{"-model", "funarc", "-journal", path,
+		"-retries", "1", "-retry-backoff", "1ns"}); err != nil {
+		t.Fatalf("tune: %v", err)
+	}
+	if err := cmdJournal([]string{path}); err != nil {
+		t.Errorf("journal <path>: %v", err)
+	}
+	if err := cmdJournal([]string{"-records", "-journal", path}); err != nil {
+		t.Errorf("journal -records: %v", err)
+	}
+	if err := cmdJournal([]string{filepath.Join(dir, "missing.jsonl")}); err == nil {
+		t.Error("missing journal accepted")
+	}
+	if err := cmdJournal(nil); err == nil {
+		t.Error("journal without a path accepted")
 	}
 }
 

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -107,7 +108,7 @@ func main() {
 	fmt.Printf("heat1d: %d atoms, hotspot share %.1f%%\n",
 		tuner.BaselineInfo().AtomCount, 100*tuner.BaselineInfo().HotspotShare)
 
-	result, err := tuner.Run()
+	result, err := tuner.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -29,7 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	result, err := tuner.Run()
+	result, err := tuner.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

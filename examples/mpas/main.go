@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -28,7 +29,7 @@ func main() {
 	fmt.Printf("MPAS-A surrogate: hotspot is %.1f%% of model CPU time (paper: ~15%%)\n",
 		100*bl.HotspotShare)
 
-	result, err := tuner.Run()
+	result, err := tuner.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 	fmt.Printf("funarc: %d search atoms, error threshold %.1e\n",
 		tuner.BaselineInfo().AtomCount, tuner.BaselineInfo().Threshold)
 
-	result, err := tuner.Run()
+	result, err := tuner.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

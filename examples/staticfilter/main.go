@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,7 +52,7 @@ func main() {
 	}
 
 	fmt.Println("\nrunning the full ablation (two searches)...")
-	r, err := experiments.Ablation(1)
+	r, err := experiments.Ablation(context.Background(), 1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -28,7 +28,7 @@ func runJournaled(t *testing.T, opts Options) (res *Result, err error, fault *se
 			fault = f
 		}
 	}()
-	res, err = tn.Run()
+	res, err = tn.Run(nil)
 	return
 }
 
@@ -142,7 +142,7 @@ func TestJournalRejectsForeignConfiguration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tn.Run(); err == nil {
+	if _, err := tn.Run(nil); err == nil {
 		t.Error("resume with a different seed accepted a stale journal")
 	}
 	// Without -resume, an existing journal holding evaluations must not
@@ -151,7 +151,7 @@ func TestJournalRejectsForeignConfiguration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tn2.Run(); err == nil {
+	if _, err := tn2.Run(nil); err == nil {
 		t.Error("fresh run overwrote a journal holding evaluations")
 	}
 }

@@ -89,11 +89,21 @@ func (r *Result) Render() string {
 		fmt.Fprintf(&sb, "  resilience: %d attempt(s) for %d evaluation(s), %d retried, %d recovered, %d quarantined\n",
 			st.Attempts, st.Evaluations, st.Retried, st.Recovered, st.Quarantined)
 	}
+	if st := r.Resilience; st != nil && st.Hung > 0 {
+		fmt.Fprintf(&sb, "  watchdog: %d hung attempt(s) abandoned\n", st.Hung)
+	}
+	if st := r.Resilience; st != nil && st.Probes > 0 {
+		fmt.Fprintf(&sb, "  breaker probes: %d (%d failed, breaker closed %d time(s))\n",
+			st.Probes, st.FailedProbes, st.BreakerClosed)
+	}
 	if r.Salvaged > 0 {
 		fmt.Fprintf(&sb, "  salvaged: %d evaluation(s) recovered from the aborted prior run's sidecar\n", r.Salvaged)
 	}
 	if r.Aborted != nil {
 		fmt.Fprintf(&sb, "  PARTIAL RESULT: search aborted early — %s\n", r.Aborted.Reason)
+	}
+	if r.Cancelled != nil {
+		fmt.Fprintf(&sb, "  PARTIAL RESULT: run cancelled (%v) — resume with the same journal to finish\n", r.Cancelled.Err)
 	}
 	if best := r.Best(); best != nil {
 		fmt.Fprintf(&sb, "  best passing variant: %.2fx speedup, %.3e error, %d/%d atoms lowered\n",

@@ -294,6 +294,26 @@ func TestBreakerTripThenResume(t *testing.T) {
 	}
 }
 
+// gatedCrash panics persistently on one key — but only after at least
+// one other evaluation has completed, so a concurrent sibling's result
+// is always there to salvage when the breaker trips.
+type gatedCrash struct {
+	inner   search.Evaluator
+	crash   string
+	sibling chan struct{}
+	once    sync.Once
+}
+
+func (g *gatedCrash) Evaluate(a transform.Assignment) *search.Evaluation {
+	if a.Key() == g.crash {
+		<-g.sibling
+		panic(fmt.Sprintf("injected: persistent crash on %q", g.crash))
+	}
+	ev := g.inner.Evaluate(a)
+	g.once.Do(func() { close(g.sibling) })
+	return ev
+}
+
 // TestSalvagedSiblingsSurviveTrip: under parallel evaluation a breaker
 // trip salvages completed sibling evaluations to the events sidecar, and
 // the resumed run replays them without re-evaluating.
@@ -303,8 +323,9 @@ func TestSalvagedSiblingsSurviveTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Poison the all-32 variant: slot 0 of the opening batch, so its
-	// all-64 sibling always completes and must be salvaged on the trip.
+	// Poison the all-32 variant: slot 0 of the opening batch. The crash is
+	// gated on its all-64 sibling's completion, making "the completed
+	// sibling is salvaged" deterministic instead of a scheduler race.
 	poison := transform.Uniform(tn.Atoms(), 4).Key()
 	crashInjector := func(inner search.Evaluator) search.Evaluator {
 		return &search.FaultInjector{Inner: inner, Mode: search.FaultCrashKey, CrashKey: poison}
@@ -313,7 +334,9 @@ func TestSalvagedSiblingsSurviveTrip(t *testing.T) {
 	path := filepath.Join(dir, "salvage.jsonl")
 	res, err, fault := runJournaled(t, Options{
 		Seed: 1, JournalPath: path, FailFast: true, RetryBackoff: 1, Parallelism: 2,
-		WrapEvaluator: crashInjector,
+		WrapEvaluator: func(inner search.Evaluator) search.Evaluator {
+			return &gatedCrash{inner: inner, crash: poison, sibling: make(chan struct{})}
+		},
 	})
 	if fault != nil {
 		t.Fatal("trip leaked a panic")

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -104,12 +105,31 @@ type Options struct {
 	// tests set ~1ns to avoid real sleeps). Jitter is seeded per
 	// assignment, so retried runs stay deterministic.
 	RetryBackoff time.Duration
+	// RetriesByClass overrides Retries per fault kind (see
+	// resilience.FaultKindOf and resilience.DefaultRetryBudgets): a
+	// scheduler kill usually deserves more retries than an OOM.
+	RetriesByClass map[string]int
+	// Watchdog bounds each evaluation attempt's wall-clock time; a hung
+	// worker is abandoned and treated as a transient infrastructure
+	// fault. Setting it enables the supervisor.
+	Watchdog time.Duration
+	// HalfOpen makes a tripped circuit breaker probe one evaluation
+	// (after a cooldown) instead of aborting outright; the search
+	// resumes if the probe succeeds.
+	HalfOpen bool
+	// DrainGrace is how long in-flight evaluations may keep running
+	// after the run's context is cancelled before they are hard-stopped
+	// mid-flight (interpreter unwinds with a cancellation fault). 0
+	// lets in-flight evaluations drain to completion; the soft stop —
+	// no *new* evaluation starts — always applies immediately.
+	DrainGrace time.Duration
 }
 
 // supervising reports whether any resilience knob enables the
 // supervisor.
 func (o Options) supervising() bool {
-	return o.Retries > 0 || o.FailFast || o.Breaker > 0 || o.MaxQuarantined > 0
+	return o.Retries > 0 || o.FailFast || o.Breaker > 0 || o.MaxQuarantined > 0 ||
+		o.Watchdog > 0 || len(o.RetriesByClass) > 0
 }
 
 // Baseline summarizes the instrumented baseline run (Table I data).
@@ -161,6 +181,13 @@ type Result struct {
 	// partial work completed before the abort, and Run returns the same
 	// value as its error.
 	Aborted *resilience.AbortError
+	// Cancelled is set when the run's context was cancelled — a signal
+	// or an expired wall-clock budget stopped the search in an orderly
+	// fashion. The Result holds the partial work completed (and
+	// journaled) before the stop, and Run returns the same value as its
+	// error; with a journal, a -resume run completes the search and
+	// produces a byte-identical journal.
+	Cancelled *search.Cancelled
 }
 
 // Tuner runs the full tuning cycle for one model.
@@ -184,6 +211,12 @@ type Tuner struct {
 	evalSeq    int
 	procPoints map[string]map[string]*ProcPoint
 	procAtoms  map[string][]string // proc -> its atom qnames
+
+	// runCtx is the hard-cancellation context of the current Run: once
+	// it is done, in-flight interpreter runs unwind with FailCancelled.
+	// Written once before the search spawns workers (the go statement
+	// establishes the happens-before), nil when Run was given no context.
+	runCtx context.Context
 }
 
 // New prepares a tuner: parses the model, enumerates atoms, runs and
@@ -412,6 +445,7 @@ func (t *Tuner) Evaluate(a transform.Assignment) *search.Evaluation {
 		TrapNonFinite: true,
 		Profile:       true,
 		CycleBudget:   3 * t.baseline.TotalCycles, // §IV-A: 3x baseline timeout
+		Context:       t.runCtx,                   // hard cancellation after the drain grace
 	})
 	if err != nil {
 		ev.Status = search.StatusError
@@ -421,6 +455,13 @@ func (t *Tuner) Evaluate(a transform.Assignment) *search.Evaluation {
 	}
 	res, runErr := in.Run()
 	if runErr != nil {
+		if re, ok := runErr.(*interp.RunError); ok && re.Kind == interp.FailCancelled {
+			// Hard cancellation cut this run short. A truncated
+			// measurement says nothing about the assignment, so it must
+			// never be journaled as a variant outcome: unwind as a
+			// cancellation instead (a resumed run re-evaluates it).
+			panic(search.NewCancelled(context.Cause(t.runCtx)))
+		}
 		if re, ok := runErr.(*interp.RunError); ok && re.Kind == interp.FailTimeout {
 			ev.Status = search.StatusTimeout
 		} else {
@@ -685,15 +726,53 @@ func (t *Tuner) openJournal(withEvents bool) (*journalState, error) {
 // is journaled and fsync'd as it completes, and with Options.Resume a
 // prior journal is replayed so no evaluated variant is ever re-run.
 //
-// With a resilience knob set (Retries/FailFast/Breaker/MaxQuarantined)
-// the evaluator runs under a resilience.Supervised wrapper. If the
-// supervisor aborts the search — circuit breaker tripped or quarantine
-// budget exhausted — Run returns the partial Result *and* the
-// *resilience.AbortError: the completed work (log, journal, best
-// variant so far) is preserved for graceful degradation, while the
-// error signals that the search did not finish.
-func (t *Tuner) Run() (*Result, error) {
+// ctx bounds the run's lifetime (nil never cancels). Cancellation is
+// two-phase: the moment ctx is done no *new* evaluation starts (the
+// soft stop), and after Options.DrainGrace in-flight evaluations are
+// hard-stopped mid-interpretation (with DrainGrace 0 they drain to
+// completion). Either way the search unwinds in an orderly fashion: the
+// journal keeps the completed deterministic prefix, completed siblings
+// are salvaged to the events sidecar, the stop itself is recorded as a
+// sidecar "cancelled" event (never in the journal proper), and Run
+// returns the partial Result together with the *search.Cancelled error.
+// A -resume run completes the search and produces a journal
+// byte-identical to an uninterrupted run's.
+//
+// With a resilience knob set (Retries/FailFast/Breaker/MaxQuarantined/
+// Watchdog/RetriesByClass) the evaluator runs under a
+// resilience.Supervised wrapper. If the supervisor aborts the search —
+// circuit breaker tripped or quarantine budget exhausted — Run returns
+// the partial Result *and* the *resilience.AbortError: the completed
+// work (log, journal, best variant so far) is preserved for graceful
+// degradation, while the error signals that the search did not finish.
+func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 	criteria, budget := t.searchParams()
+
+	// Two-phase cancellation: ctx itself is the soft stop (gates new
+	// evaluations in the search layer); the hard context reaches the
+	// interpreter and fires DrainGrace later, cutting in-flight
+	// evaluations short. With DrainGrace 0 there is no hard stop.
+	t.runCtx = nil
+	if ctx != nil && t.opts.DrainGrace > 0 {
+		hard, cancelHard := context.WithCancelCause(context.Background())
+		stop := make(chan struct{})
+		defer close(stop)
+		defer cancelHard(nil)
+		go func() {
+			select {
+			case <-ctx.Done():
+				timer := time.NewTimer(t.opts.DrainGrace)
+				defer timer.Stop()
+				select {
+				case <-timer.C:
+					cancelHard(context.Cause(ctx))
+				case <-stop:
+				}
+			case <-stop:
+			}
+		}()
+		t.runCtx = hard
+	}
 	// The log is pre-created (rather than left to the search) so the
 	// completed evaluations survive a supervised abort's unwind and can
 	// back the partial report.
@@ -763,7 +842,10 @@ func (t *Tuner) Run() (*Result, error) {
 		sup = &resilience.Supervised{
 			Inner:          evaluator,
 			MaxRetries:     t.opts.Retries,
+			RetriesByKind:  t.opts.RetriesByClass,
+			Watchdog:       t.opts.Watchdog,
 			Breaker:        breaker,
+			HalfOpen:       t.opts.HalfOpen,
 			MaxQuarantined: t.opts.MaxQuarantined,
 			Backoff:        resilience.Backoff{Base: t.opts.RetryBackoff, Seed: t.opts.Seed},
 		}
@@ -771,7 +853,8 @@ func (t *Tuner) Run() (*Result, error) {
 			ev := events
 			sup.OnEvent = func(e resilience.Event) {
 				if err := ev.Append(journal.EventRecord{
-					Type: string(e.Type), AKey: e.Key, Attempt: e.Attempt, Fault: e.Fault,
+					Type: string(e.Type), AKey: e.Key, Attempt: e.Attempt,
+					Fault: e.Fault, Kind: e.Kind, BackoffNS: int64(e.Backoff),
 				}); err != nil {
 					panic(journalAbort{err})
 				}
@@ -783,7 +866,7 @@ func (t *Tuner) Run() (*Result, error) {
 		evaluator = sup
 	}
 
-	outcome, abortErr, err := func() (out *search.Outcome, abort *resilience.AbortError, err error) {
+	outcome, abortErr, cancelErr, err := func() (out *search.Outcome, abort *resilience.AbortError, cancelled *search.Cancelled, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				if ja, ok := r.(journalAbort); ok {
@@ -794,24 +877,44 @@ func (t *Tuner) Run() (*Result, error) {
 					abort = ae
 					return
 				}
+				if ce, ok := r.(*search.Cancelled); ok {
+					cancelled = ce
+					return
+				}
 				panic(r) // genuine crash (e.g. injected fault): propagate
 			}
 		}()
-		return search.Precimonious(evaluator, t.atoms, sopts), nil, nil
+		return search.Precimonious(ctx, evaluator, t.atoms, sopts), nil, nil, nil
 	}()
 	if err != nil {
 		return nil, err
 	}
-	if abortErr != nil {
+	if abortErr != nil || cancelErr != nil {
 		// Graceful degradation: the pre-created log holds everything that
-		// completed (and was journaled) before the abort.
+		// completed (and was journaled) before the abort or stop.
 		outcome = &search.Outcome{Log: log, Converged: false}
 	}
 	t.log = outcome.Log
 
-	// The Done checkpoint is skipped on abort: the search is not done,
-	// and a resumed run must pick up where this one failed fast.
-	if jnl != nil && abortErr == nil {
+	// The orderly-shutdown record goes to the events sidecar, never the
+	// journal proper — an interrupted-then-resumed run must reproduce the
+	// uninterrupted journal byte for byte. An unsupervised run has no
+	// sidecar open; one is opened (or created) just for this record, and
+	// a failure to write it is tolerated: the journal and checkpoint
+	// already carry everything resume needs.
+	if cancelErr != nil && jnl != nil {
+		rec := journal.EventRecord{Type: journal.EventCancelled, Fault: cancelErr.Error()}
+		if events != nil {
+			_ = events.Append(rec)
+		} else if e, eerr := journal.OpenEvents(journal.EventsPath(t.opts.JournalPath), jnl.Header()); eerr == nil {
+			_ = e.Append(rec)
+			e.Close()
+		}
+	}
+
+	// The Done checkpoint is skipped on abort or cancellation: the search
+	// is not done, and a resumed run must pick up where this one stopped.
+	if jnl != nil && abortErr == nil && cancelErr == nil {
 		if err := journal.SaveCheckpoint(journal.CheckpointPath(t.opts.JournalPath), journal.Checkpoint{
 			Fingerprint: jnl.Header().Fingerprint,
 			Model:       t.model.Name,
@@ -834,6 +937,7 @@ func (t *Tuner) Run() (*Result, error) {
 		Resumed:      resumed,
 		Salvaged:     salvaged,
 		Aborted:      abortErr,
+		Cancelled:    cancelErr,
 	}
 	if sup != nil {
 		st := sup.Stats()
@@ -854,6 +958,9 @@ func (t *Tuner) Run() (*Result, error) {
 	}
 	if abortErr != nil {
 		return result, abortErr
+	}
+	if cancelErr != nil {
+		return result, cancelErr
 	}
 	return result, nil
 }

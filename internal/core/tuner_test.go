@@ -16,7 +16,7 @@ func TestFunarcTune(t *testing.T) {
 	if got := len(tn.Atoms()); got != 8 {
 		t.Fatalf("funarc atoms = %d, want 8", got)
 	}
-	res, err := tn.Run()
+	res, err := tn.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestMPASTuneSmoke(t *testing.T) {
 	if bl.HotspotShare < 0.08 || bl.HotspotShare > 0.25 {
 		t.Errorf("hotspot share %.2f out of band", bl.HotspotShare)
 	}
-	res, err := tn.Run()
+	res, err := tn.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -56,8 +57,9 @@ func (f *filteringEvaluator) Evaluate(a transform.Assignment) *search.Evaluation
 	return f.tuner.Evaluate(a)
 }
 
-// Ablation runs the §V static-filter ablation on MPAS-A.
-func Ablation(seed int64) (*AblationResult, error) {
+// Ablation runs the §V static-filter ablation on MPAS-A. ctx cancels
+// both searches (nil never cancels).
+func Ablation(ctx context.Context, seed int64) (*AblationResult, error) {
 	m := models.MPASA()
 
 	// Unfiltered search.
@@ -65,7 +67,7 @@ func Ablation(seed int64) (*AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	plainRes, err := plain.Run()
+	plainRes, err := plain.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +81,7 @@ func Ablation(seed int64) (*AblationResult, error) {
 	filter := staticeval.NewFilterFromRegions(tn.Program(), bl.Regions, bl.HotspotCycles)
 	fe := &filteringEvaluator{tuner: tn, filter: filter}
 	criteria := search.Criteria{MaxRelError: bl.Threshold, MinSpeedup: 1.0}
-	outcome := search.Precimonious(fe, tn.Atoms(), search.Options{
+	outcome := search.Precimonious(ctx, fe, tn.Atoms(), search.Options{
 		Criteria:       criteria,
 		MaxEvaluations: m.BudgetEvals,
 		Parallelism:    suiteParallelism(),

@@ -122,7 +122,7 @@ func TestSuiteReproducesPaperShapes(t *testing.T) {
 }
 
 func TestFig2Funarc(t *testing.T) {
-	r, err := Fig2(1)
+	r, err := Fig2(nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestAblation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation runs two searches")
 	}
-	r, err := Ablation(1)
+	r, err := Ablation(nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -24,15 +25,16 @@ type Fig2Result struct {
 	Threshold float64
 }
 
-// Fig2 runs the brute-force funarc sweep.
-func Fig2(seed int64) (*Fig2Result, error) {
+// Fig2 runs the brute-force funarc sweep. ctx cancels the sweep (nil
+// never cancels).
+func Fig2(ctx context.Context, seed int64) (*Fig2Result, error) {
 	m := models.Funarc()
 	t, err := core.New(m, core.Options{Seed: seed})
 	if err != nil {
 		return nil, err
 	}
 	atoms := t.Atoms()
-	log, err := search.BruteForce(t, atoms, suiteParallelism())
+	log, err := search.BruteForce(ctx, t, atoms, suiteParallelism())
 	if err != nil {
 		return nil, err
 	}

@@ -6,9 +6,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/models"
@@ -24,20 +27,62 @@ type Suite struct {
 	WholeModel *core.Result            // MPAS-A, whole-model-guided
 }
 
+// Options configures a suite run beyond its seed: the crash-safety and
+// resilience protections of a single tuning run, applied to every
+// search the suite executes. The zero value runs unprotected (fine for
+// tests; long sweeps want journals and a supervisor).
+type Options struct {
+	// JournalDir, if non-empty, gives each search its own crash-safe
+	// journal (plus checkpoint and resilience events sidecar) under this
+	// directory, named <model>.journal / mpas-a-whole.journal.
+	JournalDir string
+	// Resume replays the existing journals in JournalDir.
+	Resume bool
+	// Supervisor knobs, forwarded to every search (see core.Options).
+	Retries        int
+	RetriesByClass map[string]int
+	Watchdog       time.Duration
+	Breaker        int
+	HalfOpen       bool
+	MaxQuarantined int
+	// DrainGrace bounds in-flight evaluation drain after ctx cancels.
+	DrainGrace time.Duration
+}
+
 // RunSuite executes the four searches of the case study (the artifact's
 // four parallel experiment instances). Deterministic for a given seed.
-func RunSuite(seed int64) (*Suite, error) {
+// ctx cancels the suite between and within searches (nil never cancels).
+func RunSuite(ctx context.Context, seed int64) (*Suite, error) {
+	return RunSuiteOpts(ctx, seed, Options{})
+}
+
+// RunSuiteOpts is RunSuite with crash-safety and resilience options.
+func RunSuiteOpts(ctx context.Context, seed int64, sopts Options) (*Suite, error) {
 	par := suiteParallelism()
+	build := func(whole bool, journalName string) core.Options {
+		o := core.Options{
+			Seed: seed, Parallelism: par, WholeModel: whole,
+			Retries: sopts.Retries, RetriesByClass: sopts.RetriesByClass,
+			Watchdog: sopts.Watchdog, Breaker: sopts.Breaker,
+			HalfOpen: sopts.HalfOpen, MaxQuarantined: sopts.MaxQuarantined,
+			DrainGrace: sopts.DrainGrace,
+		}
+		if sopts.JournalDir != "" {
+			o.JournalPath = filepath.Join(sopts.JournalDir, journalName)
+			o.Resume = sopts.Resume
+		}
+		return o
+	}
 	s := &Suite{Seed: seed, Hotspot: make(map[string]*core.Result)}
 	for _, m := range models.WeatherClimate() {
-		res, err := runSearch(m, core.Options{Seed: seed, Parallelism: par})
+		res, err := runSearch(ctx, m, build(false, m.Name+".journal"))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", m.Name, err)
 		}
 		s.Hotspot[m.Name] = res
 	}
 	mp := models.MPASA()
-	whole, err := runSearch(mp, core.Options{Seed: seed, WholeModel: true, Parallelism: par})
+	whole, err := runSearch(ctx, mp, build(true, mp.Name+"-whole.journal"))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: mpas-a whole-model: %w", err)
 	}
@@ -55,12 +100,12 @@ func suiteParallelism() int {
 	return 8
 }
 
-func runSearch(m *models.Model, opts core.Options) (*core.Result, error) {
+func runSearch(ctx context.Context, m *models.Model, opts core.Options) (*core.Result, error) {
 	t, err := core.New(m, opts)
 	if err != nil {
 		return nil, err
 	}
-	return t.Run()
+	return t.Run(ctx)
 }
 
 var (
@@ -73,7 +118,7 @@ var (
 // and benchmarks that need the same searches do not repeat them.
 func Shared() (*Suite, error) {
 	sharedOnce.Do(func() {
-		sharedSuite, sharedErr = RunSuite(1)
+		sharedSuite, sharedErr = RunSuite(nil, 1)
 	})
 	return sharedSuite, sharedErr
 }

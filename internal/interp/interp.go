@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -21,6 +22,12 @@ const (
 	FailBounds
 	FailTimeout
 	FailInternal
+	// FailCancelled aborts a run whose Config.Context was cancelled — a
+	// deadline or shutdown killing the evaluation from outside. Unlike
+	// FailTimeout (the deterministic 3x-baseline cycle budget of §IV-A),
+	// cancellation says nothing about the variant: callers must treat it
+	// as an interrupted measurement, never as a variant outcome.
+	FailCancelled
 )
 
 func (k FailKind) String() string {
@@ -35,6 +42,8 @@ func (k FailKind) String() string {
 		return "cycle budget exceeded"
 	case FailInternal:
 		return "internal error"
+	case FailCancelled:
+		return "run cancelled"
 	default:
 		return "ok"
 	}
@@ -64,6 +73,11 @@ type Config struct {
 	// CycleBudget aborts the run with FailTimeout once simulated cycles
 	// exceed it (0 = unlimited). The evaluator sets 3× baseline (§IV-A).
 	CycleBudget float64
+	// Context, if non-nil, aborts the run with FailCancelled once it is
+	// done. It is polled periodically in the statement loop, alongside
+	// the cycle budget, so even a long-running evaluation notices a hard
+	// cancellation within a bounded number of statements.
+	Context context.Context
 	// Stdout receives PRINT output (nil discards it).
 	Stdout io.Writer
 	// Profile enables GPTL per-procedure timing (with modeled overhead).
@@ -118,7 +132,17 @@ type Interp struct {
 	castCycles float64
 	procCasts  map[string]float64
 	curProc    []string // procedure name stack for cast attribution
+
+	// budgetChecks counts checkBudget calls so the (comparatively
+	// costly) Context poll runs only every cancelPollInterval checks.
+	budgetChecks uint64
 }
+
+// cancelPollInterval is how many budget checks (≈ statements) pass
+// between Context polls: rare enough to stay off the hot path, frequent
+// enough that a hard cancellation lands within microseconds of real
+// work.
+const cancelPollInterval = 1024
 
 // New prepares an interpreter for an analyzed program.
 func New(prog *ft.Program, cfg Config) (*Interp, error) {
@@ -351,6 +375,14 @@ func (i *Interp) checkBudget(pos ft.Pos) error {
 	if i.cfg.CycleBudget > 0 && i.cycles > i.cfg.CycleBudget {
 		return &RunError{Pos: pos, Kind: FailTimeout,
 			Msg: fmt.Sprintf("exceeded %.0f cycles", i.cfg.CycleBudget)}
+	}
+	if i.cfg.Context != nil {
+		i.budgetChecks++
+		if i.budgetChecks%cancelPollInterval == 0 {
+			if err := i.cfg.Context.Err(); err != nil {
+				return &RunError{Pos: pos, Kind: FailCancelled, Msg: err.Error()}
+			}
+		}
 	}
 	return nil
 }

@@ -19,10 +19,19 @@ func EventsPath(journalPath string) string { return journalPath + ".events" }
 // resilience.Event; salvaged records carry a full evaluation Record
 // rescued from an aborted batch.
 const (
-	EventRetry       = "retry"
-	EventQuarantine  = "quarantine"
-	EventBreakerTrip = "breaker_trip"
-	EventSalvaged    = "salvaged"
+	EventRetry        = "retry"
+	EventQuarantine   = "quarantine"
+	EventBreakerTrip  = "breaker_trip"
+	EventWatchdog     = "watchdog"
+	EventBreakerOpen  = "breaker_open"
+	EventBreakerProbe = "breaker_probe"
+	EventBreakerClose = "breaker_close"
+	EventSalvaged     = "salvaged"
+	// EventCancelled records an orderly shutdown — a SIGINT/SIGTERM or
+	// an expired wall-clock budget. It lives in the sidecar, never the
+	// journal proper: an interrupted-then-resumed run must still produce
+	// a byte-identical evaluation journal.
+	EventCancelled = "cancelled"
 )
 
 // EventRecord is one journaled resilience event (one JSON line of the
@@ -49,6 +58,13 @@ type EventRecord struct {
 	Attempt int `json:"attempt,omitempty"`
 	// Fault is the rendered fault value.
 	Fault string `json:"fault,omitempty"`
+	// Kind is the fault's class label (retry/quarantine/watchdog
+	// events), so telemetry can aggregate per class without re-deriving
+	// the classification.
+	Kind string `json:"kind,omitempty"`
+	// BackoffNS is the backoff delay in nanoseconds slept before a retry
+	// (retry events only).
+	BackoffNS int64 `json:"backoff_ns,omitempty"`
 	// Rec is the salvaged evaluation (EventSalvaged only).
 	Rec *Record `json:"rec,omitempty"`
 }

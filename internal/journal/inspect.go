@@ -1,0 +1,48 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+)
+
+// Inspect reads a journal file without opening it for appending and
+// without knowing the expected fingerprint: records are still
+// integrity-checked against the header's own fingerprint (content keys,
+// contiguous indices) and a torn trailing line is ignored, but nothing
+// is validated against a caller-supplied configuration. This is the
+// entry point for offline tooling (prose journal) that examines a
+// journal it did not create.
+func Inspect(path string) (Header, []Record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	h, recs, err := parse(raw)
+	if err != nil {
+		return Header{}, nil, fmt.Errorf("journal: %s: %w", path, err)
+	}
+	if h.Kind != Kind || h.Version != Version {
+		return Header{}, nil, fmt.Errorf("journal: %s is not a %s v%d file (found %q v%d)",
+			path, Kind, Version, h.Kind, h.Version)
+	}
+	return h, recs, nil
+}
+
+// InspectEvents reads an events sidecar the same way Inspect reads a
+// journal: read-only, torn tail dropped, salvage payloads checked
+// against the sidecar's own fingerprint, no caller-side validation.
+func InspectEvents(path string) (Header, []EventRecord, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	h, recs, err := parseEvents(raw)
+	if err != nil {
+		return Header{}, nil, fmt.Errorf("journal: events %s: %w", path, err)
+	}
+	if h.Kind != EventsKind || h.Version != Version {
+		return Header{}, nil, fmt.Errorf("journal: %s is not a %s v%d file (found %q v%d)",
+			path, EventsKind, Version, h.Kind, h.Version)
+	}
+	return h, recs, nil
+}

@@ -127,7 +127,7 @@ func TestPredictorRanksMPASVariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := tn.Run()
+	res, err := tn.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -72,7 +73,7 @@ func logKeys(l *search.Log) []string {
 // retries absorb the noise without distorting Table II data.
 func TestSupervisedSearchLogIdenticalUnderFlakyFaults(t *testing.T) {
 	atoms, fe, opts := simTarget()
-	ref := search.Precimonious(fe, atoms, opts)
+	ref := search.Precimonious(nil, fe, atoms, opts)
 	refKeys := logKeys(ref.Log)
 
 	for _, par := range []int{1, 8} {
@@ -80,7 +81,7 @@ func TestSupervisedSearchLogIdenticalUnderFlakyFaults(t *testing.T) {
 		opts2.Parallelism = par
 		inj := &search.FaultInjector{Inner: fe2, Mode: search.FaultFlaky, Rate: 0.3, Seed: 7}
 		s := &Supervised{Inner: inj, MaxRetries: 8, Sleep: func(time.Duration) {}}
-		out := search.Precimonious(s, atoms2, opts2)
+		out := search.Precimonious(nil, s, atoms2, opts2)
 
 		st := s.Stats()
 		if st.Quarantined != 0 {
@@ -110,7 +111,7 @@ func TestSupervisedSearchLogIdenticalUnderFlakyFaults(t *testing.T) {
 // 1-minimal set.
 func TestSupervisedSearchQuarantinesPoisonedAssignment(t *testing.T) {
 	atoms, fe, opts := simTarget()
-	ref := search.Precimonious(fe, atoms, opts)
+	ref := search.Precimonious(nil, fe, atoms, opts)
 	refTotal, _, _, _, _ := ref.Log.Counts()
 
 	// Poison the all-32 variant: it is the very first proposal, and in
@@ -120,7 +121,7 @@ func TestSupervisedSearchQuarantinesPoisonedAssignment(t *testing.T) {
 	atoms2, fe2, opts2 := simTarget()
 	inj := &search.FaultInjector{Inner: fe2, Mode: search.FaultCrashKey, CrashKey: all32.Key()}
 	s := &Supervised{Inner: inj, MaxRetries: 2, Sleep: func(time.Duration) {}}
-	out := search.Precimonious(s, atoms2, opts2)
+	out := search.Precimonious(nil, s, atoms2, opts2)
 
 	if got := out.Log.InfraCount(); got != 1 {
 		t.Fatalf("InfraCount = %d, want 1", got)
@@ -140,17 +141,40 @@ func TestSupervisedSearchQuarantinesPoisonedAssignment(t *testing.T) {
 	}
 }
 
+// gatedCrash panics persistently on one key — but only after at least
+// one other evaluation has completed, so a concurrent sibling's result
+// is always there to salvage when the breaker trips.
+type gatedCrash struct {
+	inner   search.Evaluator
+	crash   string
+	sibling chan struct{}
+	once    sync.Once
+}
+
+func (g *gatedCrash) Evaluate(a transform.Assignment) *search.Evaluation {
+	if a.Key() == g.crash {
+		<-g.sibling
+		panic(fmt.Sprintf("injected: persistent crash on %q", g.crash))
+	}
+	ev := g.inner.Evaluate(a)
+	g.once.Do(func() { close(g.sibling) })
+	return ev
+}
+
 // TestBreakerTripSalvagesSiblingsAndResumes: when the breaker fails the
 // search fast mid-batch, completed sibling evaluations are salvaged, and
 // a later run seeded with them (plus the quarantine) reproduces the
 // fault-free log without re-paying for the salvaged work.
 func TestBreakerTripSalvagesSiblingsAndResumes(t *testing.T) {
 	atoms, fe, opts := simTarget()
-	ref := search.Precimonious(fe, atoms, opts)
+	ref := search.Precimonious(nil, fe, atoms, opts)
 	refKeys := logKeys(ref.Log)
 
 	// Trip on the all-32 variant — slot 0 of the opening 2-candidate
 	// batch — so its sibling (all-64) completes and must be salvaged.
+	// The crash is gated on the sibling's completion, making "the
+	// completed sibling is salvaged" a deterministic property instead of
+	// a scheduler race.
 	all32 := transform.Uniform(atoms, 4)
 	atoms2, fe2, opts2 := simTarget()
 	opts2.Parallelism = 2
@@ -161,8 +185,8 @@ func TestBreakerTripSalvagesSiblingsAndResumes(t *testing.T) {
 		cp := *ev
 		salvaged = append(salvaged, &cp)
 	}
-	inj := &search.FaultInjector{Inner: fe2, Mode: search.FaultCrashKey, CrashKey: all32.Key()}
-	s := &Supervised{Inner: inj, Breaker: 1, Sleep: func(time.Duration) {}}
+	crash := &gatedCrash{inner: fe2, crash: all32.Key(), sibling: make(chan struct{})}
+	s := &Supervised{Inner: crash, Breaker: 1, Sleep: func(time.Duration) {}}
 
 	abort := func() (ae *AbortError) {
 		defer func() {
@@ -173,7 +197,7 @@ func TestBreakerTripSalvagesSiblingsAndResumes(t *testing.T) {
 				}
 			}
 		}()
-		search.Precimonious(s, atoms2, opts2)
+		search.Precimonious(nil, s, atoms2, opts2)
 		return nil
 	}()
 	if abort == nil || abort.Reason != AbortBreaker {
@@ -204,7 +228,7 @@ func TestBreakerTripSalvagesSiblingsAndResumes(t *testing.T) {
 	opts3.OnAdd = func(ev *search.Evaluation, replayed bool) { replayedFresh = append(replayedFresh, replayed) }
 	s3 := &Supervised{Inner: fe3, MaxRetries: 2, Sleep: func(time.Duration) {}}
 	s3.Quarantine(all32.Key(), "search: injected crash on "+fmt.Sprintf("%q", all32.Key()))
-	out := search.Precimonious(s3, atoms3, opts3)
+	out := search.Precimonious(nil, s3, atoms3, opts3)
 
 	got := logKeys(out.Log)
 	if len(got) != len(refKeys) {

@@ -17,13 +17,28 @@
 //     search.StatusInfra evaluation instead of crashing the search, and
 //     a resumed run short-circuits it without touching the evaluator.
 //
+// Transient faults are budgeted per kind (scheduler kills, OOMs, hangs
+// — see FaultKindOf): a requeue routinely cures a scheduler kill, so it
+// deserves more retries than an OOM that will recur on every attempt.
+// A per-evaluation wall-clock watchdog (Watchdog) converts a hung
+// worker — one that neither returns nor panics — into a transient
+// HangFault that travels the same retry/quarantine taxonomy, so a
+// wedged evaluation no longer blocks its whole batch.
+//
 // A circuit breaker counts consecutive quarantines: N hard
 // infrastructure failures in a row mean the infrastructure itself is
 // down, and burning the remaining evaluation budget into it is worse
-// than failing fast. The breaker trips by panicking with an *AbortError
-// (a search.Abort), which the batched search layer uses to salvage
-// completed sibling results before unwinding, and which the tuner
-// converts into a partial report instead of a stack trace.
+// than failing fast. In its default configuration the breaker trips by
+// panicking with an *AbortError (a search.Abort), which the batched
+// search layer uses to salvage completed sibling results before
+// unwinding, and which the tuner converts into a partial report instead
+// of a stack trace. With HalfOpen set, tripping instead *opens* the
+// breaker: new evaluations block while a single probe evaluation tests
+// whether the infrastructure recovered; a successful probe closes the
+// breaker and the search resumes, while MaxProbes consecutive failed
+// probes give up and abort as before. Because evaluation results are
+// pure functions of the assignment, a search that rode out an open
+// breaker produces the same journal as one that never tripped.
 package resilience
 
 import (
@@ -75,6 +90,17 @@ const (
 	// EventBreakerTrip: too many consecutive quarantines; the search is
 	// failing fast with a partial report.
 	EventBreakerTrip EventType = "breaker_trip"
+	// EventWatchdog: the per-evaluation watchdog abandoned a hung
+	// attempt and substituted a transient HangFault.
+	EventWatchdog EventType = "watchdog"
+	// EventBreakerOpen: the half-open breaker opened; new evaluations
+	// block until a probe settles the infrastructure's fate.
+	EventBreakerOpen EventType = "breaker_open"
+	// EventBreakerProbe: one evaluation is probing the opened breaker.
+	EventBreakerProbe EventType = "breaker_probe"
+	// EventBreakerClose: a probe succeeded; the breaker closed and the
+	// search resumed.
+	EventBreakerClose EventType = "breaker_close"
 )
 
 // Event is one observable resilience decision. Events are emitted on
@@ -90,6 +116,11 @@ type Event struct {
 	Attempt int
 	// Fault is the rendered panic value.
 	Fault string
+	// Kind is the fault's class label (FaultKindOf) on retry,
+	// quarantine, and watchdog events; empty on breaker events.
+	Kind string
+	// Backoff is the delay slept before the retry (EventRetry only).
+	Backoff time.Duration
 }
 
 // Stats is a snapshot of supervisor counters.
@@ -107,6 +138,14 @@ type Stats struct {
 	// Quarantined is the number of quarantined assignments, including
 	// those preloaded from a resumed run's event journal.
 	Quarantined int
+	// Hung is the number of attempts the watchdog abandoned.
+	Hung int64
+	// Probes is the number of half-open breaker probes started.
+	Probes int64
+	// FailedProbes is the number of probes that ended in quarantine.
+	FailedProbes int64
+	// BreakerClosed is the number of times a probe closed the breaker.
+	BreakerClosed int64
 	// BreakerTripped reports whether the circuit breaker has tripped.
 	BreakerTripped bool
 }
@@ -163,10 +202,33 @@ type Supervised struct {
 	// MaxRetries bounds retries of transient faults per evaluation (the
 	// first attempt is not a retry; MaxRetries=3 allows 4 attempts).
 	MaxRetries int
+	// RetriesByKind overrides MaxRetries for specific fault kinds
+	// (FaultKindOf labels; see DefaultRetryBudgets for sane values).
+	// Kinds absent from the map use MaxRetries.
+	RetriesByKind map[string]int
+	// Watchdog bounds each attempt's wall-clock time; 0 disables it. An
+	// attempt that exceeds the limit is abandoned — its goroutine leaks
+	// until the inner evaluation eventually returns, so real evaluators
+	// should also honor a context deadline — and treated as a transient
+	// *HangFault, retried within the hang retry budget and quarantined
+	// past it like any other infrastructure fault.
+	Watchdog time.Duration
 	// Breaker trips the circuit breaker after this many consecutive
 	// quarantines (hard infrastructure failures with no intervening
 	// success). 0 disables the breaker.
 	Breaker int
+	// HalfOpen makes a tripped breaker open instead of aborting: new
+	// evaluations block while one probe evaluation (after a
+	// ProbeCooldown sleep) tests the infrastructure. A successful probe
+	// closes the breaker; MaxProbes consecutive failed probes abort.
+	HalfOpen bool
+	// MaxProbes bounds consecutive failed half-open probes before the
+	// breaker gives up and aborts (default 3).
+	MaxProbes int
+	// ProbeCooldown is slept (via Sleep) before each probe touches the
+	// infrastructure, giving it time to recover (default 10×
+	// DefaultBackoffBase).
+	ProbeCooldown time.Duration
 	// MaxQuarantined aborts the search once more than this many distinct
 	// assignments are quarantined. 0 = unlimited.
 	MaxQuarantined int
@@ -187,6 +249,16 @@ type Supervised struct {
 	consecutive int
 	tripped     bool
 	stats       Stats
+
+	// Half-open breaker state, guarded by mu. cond is created on first
+	// use (the zero Supervised stays usable); aborted holds the terminal
+	// panic value once the supervisor has decided to unwind, so blocked
+	// waiters re-raise the same cause instead of deadlocking.
+	cond          *sync.Cond
+	open          bool
+	probing       bool
+	probeFailures int
+	aborted       any
 }
 
 // Quarantine preloads a quarantined assignment (typically replayed from
@@ -248,18 +320,104 @@ func (s *Supervised) event(e Event) {
 	}
 }
 
+// retryBudget returns the retry budget for a fault kind.
+func (s *Supervised) retryBudget(kind string) int {
+	if n, ok := s.RetriesByKind[kind]; ok {
+		return n
+	}
+	return s.MaxRetries
+}
+
+func (s *Supervised) maxProbes() int {
+	if s.MaxProbes > 0 {
+		return s.MaxProbes
+	}
+	return 3
+}
+
+func (s *Supervised) probeCooldown() time.Duration {
+	if s.ProbeCooldown > 0 {
+		return s.ProbeCooldown
+	}
+	return 10 * DefaultBackoffBase
+}
+
+// condLocked returns the breaker condition variable, creating it on
+// first use. Callers must hold mu.
+func (s *Supervised) condLocked() *sync.Cond {
+	if s.cond == nil {
+		s.cond = sync.NewCond(&s.mu)
+	}
+	return s.cond
+}
+
+// broadcastLocked wakes every goroutine blocked on the breaker gate.
+// Callers must hold mu.
+func (s *Supervised) broadcastLocked() {
+	if s.cond != nil {
+		s.cond.Broadcast()
+	}
+}
+
+// abortValueLocked is what a waiter (or a fresh Evaluate call) panics
+// with once the supervisor has terminally aborted. A cancellation
+// propagates as-is so the tuner reports the true cause; a breaker abort
+// is re-rendered so each panicking goroutine says the breaker was
+// already open. Callers must hold mu.
+func (s *Supervised) abortValueLocked() any {
+	if _, ok := s.aborted.(*AbortError); !ok && s.aborted != nil {
+		return s.aborted
+	}
+	reason := AbortBreaker
+	if ae, ok := s.aborted.(*AbortError); ok {
+		reason = ae.Reason
+	}
+	return &AbortError{Reason: reason, Consecutive: s.consecutive,
+		Quarantined: len(s.quarantined), LastFault: "breaker already open"}
+}
+
 // attempt runs one inner evaluation, converting a panic into a fault
-// value. fault is nil on success.
-func (s *Supervised) attempt(a transform.Assignment) (ev *search.Evaluation, fault any) {
-	defer func() {
-		if r := recover(); r != nil {
-			fault = r
-		}
-	}()
+// value. fault is nil on success. With a watchdog configured the inner
+// call runs on its own goroutine: if it produces nothing within the
+// limit it is abandoned (the goroutine leaks until the evaluation
+// returns on its own) and a transient *HangFault is reported instead.
+func (s *Supervised) attempt(key string, a transform.Assignment) (ev *search.Evaluation, fault any) {
 	s.mu.Lock()
 	s.stats.Attempts++
 	s.mu.Unlock()
-	return s.Inner.Evaluate(a), nil
+	if s.Watchdog <= 0 {
+		defer func() {
+			if r := recover(); r != nil {
+				fault = r
+			}
+		}()
+		return s.Inner.Evaluate(a), nil
+	}
+	type outcome struct {
+		ev    *search.Evaluation
+		fault any
+	}
+	// Buffered so an abandoned worker's late send never blocks it forever.
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{fault: r}
+			}
+		}()
+		ch <- outcome{ev: s.Inner.Evaluate(a)}
+	}()
+	timer := time.NewTimer(s.Watchdog)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.ev, o.fault
+	case <-timer.C:
+		s.mu.Lock()
+		s.stats.Hung++
+		s.mu.Unlock()
+		return nil, &HangFault{Key: key, After: s.Watchdog}
+	}
 }
 
 // quarantineDetail renders the StatusInfra detail for a quarantined
@@ -274,37 +432,84 @@ func (s *Supervised) Evaluate(a transform.Assignment) *search.Evaluation {
 
 	s.mu.Lock()
 	s.stats.Evaluations++
-	if s.tripped {
-		abort := &AbortError{Reason: AbortBreaker, Consecutive: s.consecutive,
-			Quarantined: len(s.quarantined), LastFault: "breaker already open"}
+	// Half-open gate: while the breaker is open and a probe is in
+	// flight, everyone else waits for its verdict instead of hammering
+	// infrastructure that is presumed down.
+	for s.aborted == nil && s.open && s.probing {
+		s.condLocked().Wait()
+	}
+	if s.aborted != nil {
+		abort := s.abortValueLocked()
 		s.mu.Unlock()
 		panic(abort)
 	}
 	fault, poisoned := s.quarantined[key]
+	isProbe := false
+	if !poisoned && s.open {
+		// First caller through an idle open breaker becomes the probe; a
+		// quarantined key cannot probe (it never touches the evaluator).
+		s.probing = true
+		isProbe = true
+		s.stats.Probes++
+	}
 	s.mu.Unlock()
 	if poisoned {
 		return s.infraEvaluation(a, fault)
 	}
+	if isProbe {
+		s.event(Event{Type: EventBreakerProbe, Key: key})
+		s.sleep(s.probeCooldown())
+	}
 
 	var lastFault string
 	for attempt := 0; ; attempt++ {
-		ev, fault := s.attempt(a)
+		ev, fault := s.attempt(key, a)
 		if fault == nil {
 			s.mu.Lock()
 			s.consecutive = 0
 			if attempt > 0 {
 				s.stats.Recovered++
 			}
+			if isProbe {
+				// The probe came back: the infrastructure recovered.
+				// Close the breaker and release the waiters.
+				s.open = false
+				s.probing = false
+				s.probeFailures = 0
+				s.stats.BreakerClosed++
+				s.broadcastLocked()
+			}
 			s.mu.Unlock()
+			if isProbe {
+				s.event(Event{Type: EventBreakerClose, Key: key})
+			}
 			return ev
 		}
+		// Deliberate search terminations — a context cancellation, a
+		// nested abort — are not infrastructure faults: they must not be
+		// retried or quarantined. Record the cause so gate waiters unwind
+		// with it instead of deadlocking, then re-raise.
+		if _, ok := fault.(search.Abort); ok {
+			s.mu.Lock()
+			if s.aborted == nil {
+				s.aborted = fault
+			}
+			s.broadcastLocked()
+			s.mu.Unlock()
+			panic(fault)
+		}
+		kind := FaultKindOf(fault)
 		lastFault = renderFault(fault)
-		if s.classify(fault) == ClassTransient && attempt < s.MaxRetries {
+		if _, hung := fault.(*HangFault); hung {
+			s.event(Event{Type: EventWatchdog, Key: key, Attempt: attempt + 1, Fault: lastFault, Kind: kind})
+		}
+		if s.classify(fault) == ClassTransient && attempt < s.retryBudget(kind) {
+			delay := s.Backoff.Delay(key, attempt)
 			s.mu.Lock()
 			s.stats.Retried++
 			s.mu.Unlock()
-			s.event(Event{Type: EventRetry, Key: key, Attempt: attempt + 1, Fault: lastFault})
-			s.sleep(s.Backoff.Delay(key, attempt))
+			s.event(Event{Type: EventRetry, Key: key, Attempt: attempt + 1, Fault: lastFault, Kind: kind, Backoff: delay})
+			s.sleep(delay)
 			continue
 		}
 		// Hard infrastructure failure: quarantine the assignment. Two
@@ -324,21 +529,54 @@ func (s *Supervised) Evaluate(a transform.Assignment) *search.Evaluation {
 		exhausted := s.MaxQuarantined > 0 && len(s.quarantined) > s.MaxQuarantined
 		abort := &AbortError{Consecutive: s.consecutive,
 			Quarantined: len(s.quarantined), LastFault: lastFault}
-		if trip {
+		terminal := false   // the search aborts now
+		justOpened := false // the half-open breaker opened on this fault
+		switch {
+		case exhausted:
+			// A meaningless search is not worth probing for.
+			abort.Reason = AbortQuarantine
+			terminal = true
+		case isProbe:
+			// The probe failed: the infrastructure is still down. Stay
+			// open and let the next waiter probe, unless the probe budget
+			// is spent.
+			s.probing = false
+			s.probeFailures++
+			s.stats.FailedProbes++
+			if s.probeFailures >= s.maxProbes() {
+				abort.Reason = AbortBreaker
+				terminal = true
+			} else {
+				s.broadcastLocked()
+			}
+		case trip:
+			if s.HalfOpen {
+				justOpened = !s.open
+				s.open = true
+			} else {
+				abort.Reason = AbortBreaker
+				terminal = true
+			}
+		}
+		if terminal {
 			s.tripped = true
-			s.stats.BreakerTripped = true
+			if abort.Reason == AbortBreaker {
+				s.stats.BreakerTripped = true
+			}
+			s.aborted = abort
+			s.broadcastLocked()
 		}
 		s.mu.Unlock()
 
-		s.event(Event{Type: EventQuarantine, Key: key, Attempt: attempt + 1, Fault: lastFault})
-		switch {
-		case trip:
-			abort.Reason = AbortBreaker
-			s.event(Event{Type: EventBreakerTrip, Key: key, Fault: lastFault})
+		s.event(Event{Type: EventQuarantine, Key: key, Attempt: attempt + 1, Fault: lastFault, Kind: kind})
+		if terminal {
+			if abort.Reason == AbortBreaker {
+				s.event(Event{Type: EventBreakerTrip, Key: key, Fault: lastFault})
+			}
 			panic(abort)
-		case exhausted:
-			abort.Reason = AbortQuarantine
-			panic(abort)
+		}
+		if justOpened {
+			s.event(Event{Type: EventBreakerOpen, Key: key, Fault: lastFault})
 		}
 		return s.infraEvaluation(a, lastFault)
 	}

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/transform"
@@ -32,14 +33,21 @@ import (
 //     nothing can be assumed about process state, and the journal prefix
 //     invariant is the resume contract.
 //   - A supervised Abort (a tripped circuit breaker failing the search
-//     fast) salvages every completed fresh result, in deterministic
-//     batch order, into Log.Salvaged — and through the OnSalvage
-//     observer to the journal's sidecar — before re-raising. They cannot
-//     enter the log proper (their deterministic slots were never
-//     reached), but a resumed search serves them from the warm cache,
-//     so a worker failure no longer silently wastes the paid-for
-//     evaluations of its siblings.
-func batchEval(log *Log, eval Evaluator, batch []transform.Assignment, parallelism int) []*Evaluation {
+//     fast, or a context cancellation) salvages every completed fresh
+//     result, in deterministic batch order, into Log.Salvaged — and
+//     through the OnSalvage observer to the journal's sidecar — before
+//     re-raising. They cannot enter the log proper (their deterministic
+//     slots were never reached), but a resumed search serves them from
+//     the warm cache, so a worker failure no longer silently wastes the
+//     paid-for evaluations of its siblings.
+//
+// Cancellation: once ctx is done, no *new* evaluation starts — workers
+// that have not yet called the evaluator panic with a *Cancelled
+// (an Abort) instead, while in-flight evaluations drain normally and
+// are flushed or salvaged like any other completed sibling. Hard
+// cancellation of in-flight work is the evaluator's business (the tuner
+// threads a second, grace-delayed context into the interpreter).
+func batchEval(ctx context.Context, log *Log, eval Evaluator, batch []transform.Assignment, parallelism int) []*Evaluation {
 	if parallelism < 1 {
 		parallelism = 1
 	}
@@ -92,6 +100,10 @@ func batchEval(log *Log, eval Evaluator, batch []transform.Assignment, paralleli
 			}()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// The last cancellation gate before paying for an evaluation:
+			// a done context stops new work while siblings already inside
+			// the evaluator drain.
+			checkCancelled(ctx)
 			ev := eval.Evaluate(jobs[ji].a)
 			ev.Assignment = jobs[ji].a
 			fresh[ji] = ev

@@ -43,7 +43,7 @@ func journaled(atoms []transform.Atom, eval Evaluator, opts Options) (out *Outco
 			fault = f
 		}
 	}()
-	out = Precimonious(eval, atoms, opts)
+	out = Precimonious(nil, eval, atoms, opts)
 	return
 }
 
@@ -328,7 +328,7 @@ func TestCrashKeyMode(t *testing.T) {
 func TestBruteForceRejectsHugeAtomCount(t *testing.T) {
 	atoms := mkAtoms(MaxBruteForceAtoms + 1)
 	fe := &fakeEval{atoms: atoms}
-	log, err := BruteForce(fe, atoms, 1)
+	log, err := BruteForce(nil, fe, atoms, 1)
 	if err == nil {
 		t.Fatal("BruteForce accepted 25 atoms (2^25 variants)")
 	}
@@ -340,7 +340,7 @@ func TestBruteForceRejectsHugeAtomCount(t *testing.T) {
 	}
 	// Far over the limit — the pre-fix code would compute 1<<64 == 0 or
 	// panic on makeslice; now it must error cleanly.
-	if _, err := BruteForce(fe, mkAtoms(64), 1); err == nil {
+	if _, err := BruteForce(nil, fe, mkAtoms(64), 1); err == nil {
 		t.Error("BruteForce accepted 64 atoms")
 	}
 }

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/transform"
@@ -71,7 +72,14 @@ type Options struct {
 // the correctness and performance criteria. Every distinct variant
 // evaluated is recorded in the returned Log (the data behind Table II
 // and Figures 5-7).
-func Precimonious(eval Evaluator, atoms []transform.Atom, opts Options) *Outcome {
+//
+// ctx bounds the search's lifetime (nil means never cancelled): once it
+// is done, no new evaluation starts, in-flight evaluations drain, and
+// the search unwinds by panicking with a *Cancelled — an Abort, so the
+// journal keeps the completed deterministic prefix and completed
+// siblings are salvaged. A resumed search replays that prefix and
+// finishes with a byte-identical journal.
+func Precimonious(ctx context.Context, eval Evaluator, atoms []transform.Atom, opts Options) *Outcome {
 	log := opts.Log
 	if log == nil {
 		log = NewLog()
@@ -127,11 +135,15 @@ func Precimonious(eval Evaluator, atoms []transform.Atom, opts Options) *Outcome
 		if n <= 0 {
 			return ok
 		}
+		// Stop before proposing a new batch once the deadline has passed:
+		// the between-batch gate catches cancellations that arrive while
+		// no evaluation is in flight.
+		checkCancelled(ctx)
 		batch := make([]transform.Assignment, n)
 		for i := 0; i < n; i++ {
 			batch[i] = lowerAllBut(cands[i])
 		}
-		evs := batchEval(log, eval, batch, opts.Parallelism)
+		evs := batchEval(ctx, log, eval, batch, opts.Parallelism)
 		for i, ev := range evs {
 			ok[i] = opts.Criteria.Accept(ev)
 		}
@@ -221,8 +233,9 @@ const MaxBruteForceAtoms = 24
 // v is set. Variants are evaluated with the given parallelism but logged
 // in enumeration order. Atom counts above MaxBruteForceAtoms are
 // rejected rather than silently attempting an astronomically large (or,
-// after shift overflow, nonsensically sized) sweep.
-func BruteForce(eval Evaluator, atoms []transform.Atom, parallelism int) (*Log, error) {
+// after shift overflow, nonsensically sized) sweep. ctx cancels the
+// sweep like Precimonious: the unwind is a *Cancelled panic.
+func BruteForce(ctx context.Context, eval Evaluator, atoms []transform.Atom, parallelism int) (*Log, error) {
 	n := len(atoms)
 	if n > MaxBruteForceAtoms {
 		return nil, fmt.Errorf("search: brute force over %d atoms needs 2^%d evaluations; the limit is %d atoms — use Precimonious for larger spaces", n, n, MaxBruteForceAtoms)
@@ -240,6 +253,6 @@ func BruteForce(eval Evaluator, atoms []transform.Atom, parallelism int) (*Log, 
 		}
 		batch[v] = a
 	}
-	batchEval(log, eval, batch, parallelism)
+	batchEval(ctx, log, eval, batch, parallelism)
 	return log, nil
 }

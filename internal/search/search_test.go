@@ -182,7 +182,7 @@ func TestPrecimoniousFindsCriticalSet(t *testing.T) {
 			"m.p.v17": true,
 		},
 	}
-	out := Precimonious(fe, atoms, Options{
+	out := Precimonious(nil, fe, atoms, Options{
 		Criteria: Criteria{MaxRelError: 1e-3, MinSpeedup: 1.0},
 	})
 	sort.Strings(out.Minimal)
@@ -213,7 +213,7 @@ func TestPrecimoniousFindsCriticalSet(t *testing.T) {
 func TestPrecimoniousAllLowerable(t *testing.T) {
 	atoms := mkAtoms(10)
 	fe := &fakeEval{atoms: atoms, critical: map[string]bool{}}
-	out := Precimonious(fe, atoms, Options{Criteria: Criteria{MaxRelError: 1, MinSpeedup: 1}})
+	out := Precimonious(nil, fe, atoms, Options{Criteria: Criteria{MaxRelError: 1, MinSpeedup: 1}})
 	if len(out.Minimal) != 0 {
 		t.Fatalf("Minimal = %v, want empty (uniform 32-bit passes)", out.Minimal)
 	}
@@ -233,7 +233,7 @@ func TestPrecimoniousErrorStatusRejected(t *testing.T) {
 		atoms:   atoms,
 		fragile: map[string]bool{"m.p.v03": true},
 	}
-	out := Precimonious(fe, atoms, Options{Criteria: Criteria{MaxRelError: 1, MinSpeedup: 1}})
+	out := Precimonious(nil, fe, atoms, Options{Criteria: Criteria{MaxRelError: 1, MinSpeedup: 1}})
 	if len(out.Minimal) != 1 || out.Minimal[0] != "m.p.v03" {
 		t.Fatalf("Minimal = %v, want the fragile atom", out.Minimal)
 	}
@@ -246,7 +246,7 @@ func TestPrecimoniousErrorStatusRejected(t *testing.T) {
 func TestPrecimoniousBudget(t *testing.T) {
 	atoms := mkAtoms(40)
 	fe := &fakeEval{atoms: atoms, critical: map[string]bool{"m.p.v09": true, "m.p.v23": true, "m.p.v31": true}}
-	out := Precimonious(fe, atoms, Options{
+	out := Precimonious(nil, fe, atoms, Options{
 		Criteria:       Criteria{MaxRelError: 1e-3, MinSpeedup: 1},
 		MaxEvaluations: 5,
 	})
@@ -260,7 +260,7 @@ func TestPrecimoniousBudget(t *testing.T) {
 
 func TestPrecimoniousEmptyAtoms(t *testing.T) {
 	fe := &fakeEval{}
-	out := Precimonious(fe, nil, Options{})
+	out := Precimonious(nil, fe, nil, Options{})
 	if out.Minimal != nil || out.Final != nil || !out.Converged {
 		t.Errorf("empty atoms: %+v", out)
 	}
@@ -271,7 +271,7 @@ func TestPrecimoniousRespectsMinSpeedup(t *testing.T) {
 	// variants are rejected and everything stays 64-bit.
 	atoms := mkAtoms(8)
 	fe := &fakeEval{atoms: atoms}
-	out := Precimonious(fe, atoms, Options{Criteria: Criteria{MaxRelError: 1, MinSpeedup: 99}})
+	out := Precimonious(nil, fe, atoms, Options{Criteria: Criteria{MaxRelError: 1, MinSpeedup: 99}})
 	if len(out.Minimal) != len(atoms) {
 		t.Fatalf("Minimal = %d atoms, want all %d", len(out.Minimal), len(atoms))
 	}
@@ -280,7 +280,7 @@ func TestPrecimoniousRespectsMinSpeedup(t *testing.T) {
 func TestBruteForceEnumerates(t *testing.T) {
 	atoms := mkAtoms(5)
 	fe := &fakeEval{atoms: atoms, critical: map[string]bool{"m.p.v02": true}}
-	log, err := BruteForce(fe, atoms, 4)
+	log, err := BruteForce(nil, fe, atoms, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +350,7 @@ func TestParallelismInvariance(t *testing.T) {
 			critical: map[string]bool{"m.p.v05": true, "m.p.v17": true},
 			fragile:  map[string]bool{"m.p.v09": true},
 		}
-		return Precimonious(fe, atoms, Options{
+		return Precimonious(nil, fe, atoms, Options{
 			Criteria:    Criteria{MaxRelError: 1e-3, MinSpeedup: 1},
 			Parallelism: par,
 		})
@@ -383,7 +383,7 @@ func TestBatchEvalDeduplicates(t *testing.T) {
 	fe := &fakeEval{atoms: atoms}
 	log := NewLog()
 	a := transform.Uniform(atoms, 4)
-	evs := batchEval(log, fe, []transform.Assignment{a, a.Clone(), transform.Uniform(atoms, 8)}, 3)
+	evs := batchEval(nil, log, fe, []transform.Assignment{a, a.Clone(), transform.Uniform(atoms, 8)}, 3)
 	if fe.calls.Load() != 2 {
 		t.Errorf("evaluator called %d times, want 2", fe.calls.Load())
 	}

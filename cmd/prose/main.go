@@ -11,10 +11,12 @@
 //	prose variant  -model NAME [...]   generate and print one variant
 //	prose reduce   -model NAME -targets a,b  taint-based program reduction
 //	prose journal  <path>              inspect a journal + events sidecar
+//	prose trace    <path>              analyze a span trace from tune -trace
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,8 +30,10 @@ import (
 	"repro/internal/blame"
 	"repro/internal/core"
 	ft "repro/internal/fortran"
+	"repro/internal/gptl"
 	"repro/internal/journal"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/search"
 	"repro/internal/transform"
@@ -89,6 +93,8 @@ func main() {
 		err = cmdBlame(os.Args[2:])
 	case "journal":
 		err = cmdJournal(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -114,6 +120,7 @@ commands:
   reduce     taint-based program reduction for target variables (paper III-C)
   blame      one-at-a-time precision sensitivity ranking (ADAPT-style)
   journal    inspect a crash-safe journal and its resilience events sidecar
+  trace      analyze a span trace written by tune -trace (critical path, phases)
 
 run 'prose <command> -h' for flags.
 `)
@@ -205,6 +212,9 @@ func cmdTune(args []string) error {
 	halfOpen := fs.Bool("breaker-halfopen", false, "after the breaker trips, probe one evaluation (instead of aborting) and resume the search if it succeeds")
 	wallBudget := fs.Duration("wall-budget", 0, "stop the whole run in an orderly fashion after this wall-clock time (exit code 5, journal stays resumable; 0 = unlimited)")
 	drainGrace := fs.Duration("drain-grace", 0, "after a stop (signal or -wall-budget), let in-flight evaluations keep running this long before hard-cancelling them (0 = drain to completion)")
+	tracePath := fs.String("trace", "", "write a span trace to this file (Chrome trace_event JSON; analyze with 'prose trace' or chrome://tracing)")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address for the duration of the run (e.g. localhost:6060)")
+	progressEvery := fs.Duration("progress", 0, "print a live progress heartbeat to stderr at this interval (0 = off)")
 	verbose := fs.Bool("v", false, "print each variant as it is evaluated")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -230,6 +240,15 @@ func cmdTune(args []string) error {
 		MaxQuarantined: *maxQuarantined, RetryBackoff: *backoff,
 		RetriesByClass: byClass, Watchdog: *watchdog,
 		HalfOpen: *halfOpen, DrainGrace: *drainGrace,
+	}
+	// Observability is strictly out-of-band: neither the tracer nor the
+	// registry is part of the run fingerprint, and enabling them must
+	// not change a single journal byte (test-enforced).
+	if *tracePath != "" || *debugAddr != "" || *progressEvery > 0 {
+		opts.Metrics = obs.NewRegistry()
+	}
+	if *tracePath != "" {
+		opts.Trace = obs.NewTracer(fmt.Sprintf("model=%s seed=%d", m.Name, *seed))
 	}
 	if *verbose {
 		opts.Progress = func(ev *search.Evaluation) {
@@ -263,7 +282,38 @@ func cmdTune(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	if *debugAddr != "" {
+		dbg, derr := obs.ServeDebug(*debugAddr, opts.Metrics)
+		if derr != nil {
+			return fmt.Errorf("tune: -debug-addr: %w", derr)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug: serving metrics and pprof on http://%s/debug/metrics\n", dbg.Addr())
+	}
+	var heartbeat *obs.Progress
+	if *progressEvery > 0 {
+		heartbeat = obs.NewProgress(os.Stderr, *progressEvery, opts.Metrics, int64(t.EvaluationBudget()))
+		heartbeat.Start()
+	}
+
 	res, err := t.Run(ctx)
+
+	// Stop the heartbeat before the report so the final progress line
+	// cannot interleave with it; flush the trace even on a cancelled or
+	// aborted run — a partial trace of a failed run is the useful one.
+	heartbeat.Stop()
+	if opts.Trace != nil {
+		if werr := opts.Trace.WriteFile(*tracePath); werr != nil {
+			if err == nil {
+				err = fmt.Errorf("tune: writing trace: %w", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "prose: writing trace: %v\n", werr)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "trace: %d span(s) written to %s\n", opts.Trace.Len(), *tracePath)
+		}
+	}
 	if res == nil {
 		return err
 	}
@@ -398,6 +448,7 @@ func cmdJournal(args []string) error {
 	fs := flag.NewFlagSet("journal", flag.ExitOnError)
 	path := fs.String("journal", "", "journal path to inspect (or pass it as the positional argument)")
 	records := fs.Bool("records", false, "also list every journaled evaluation")
+	format := fs.String("format", "text", "output format: text (human-readable) or json (machine-readable dump)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -406,6 +457,15 @@ func cmdJournal(args []string) error {
 	}
 	if *path == "" {
 		return fmt.Errorf("journal: usage: prose journal <path>")
+	}
+	switch *format {
+	case "text":
+		// fall through to the plain-text path below, which stays
+		// byte-identical to what it printed before -format existed
+	case "json":
+		return journalJSON(*path, *records)
+	default:
+		return fmt.Errorf("journal: unknown -format %q (want text or json)", *format)
 	}
 
 	h, recs, err := journal.Inspect(*path)
@@ -472,6 +532,136 @@ func cmdJournal(args []string) error {
 	}
 	if n := byType[journal.EventCancelled]; n > 0 {
 		fmt.Printf("  cancelled: %d orderly shutdown(s) recorded\n", n)
+	}
+	return nil
+}
+
+// journalDump is the machine-readable shape of 'prose journal -format
+// json': the same facts the text report prints, plus a metrics map
+// keyed by the internal/obs counter names so a journal inspected after
+// the fact and a live run's metrics snapshot aggregate the same way.
+type journalDump struct {
+	Path        string                `json:"path"`
+	Model       string                `json:"model,omitempty"`
+	Fingerprint string                `json:"fingerprint"`
+	Evaluations int                   `json:"evaluations"`
+	Statuses    map[string]int        `json:"statuses"`
+	Metrics     map[string]int64      `json:"metrics"`
+	Checkpoint  *journal.Checkpoint   `json:"checkpoint,omitempty"`
+	Records     []journal.Record      `json:"records,omitempty"`
+	Events      []journal.EventRecord `json:"events,omitempty"`
+}
+
+// journalJSON implements 'prose journal -format json'. It is a
+// separate function from the text path so the default text output
+// cannot drift: that path is untouched.
+func journalJSON(path string, records bool) error {
+	h, recs, err := journal.Inspect(path)
+	if err != nil {
+		return err
+	}
+	dump := journalDump{
+		Path:        path,
+		Model:       h.Model,
+		Fingerprint: h.Fingerprint,
+		Evaluations: len(recs),
+		Statuses:    map[string]int{},
+		Metrics:     map[string]int64{},
+	}
+	dump.Metrics[obs.MetricEvals] = int64(len(recs))
+	for _, r := range recs {
+		dump.Statuses[r.Status]++
+		dump.Metrics[obs.MetricEvalsPrefix+r.Status]++
+	}
+	if records {
+		dump.Records = recs
+	}
+	if ck, ok, err := journal.LoadCheckpoint(journal.CheckpointPath(path)); err == nil && ok {
+		dump.Checkpoint = &ck
+	}
+	if _, evs, err := journal.InspectEvents(journal.EventsPath(path)); err == nil {
+		dump.Events = evs
+		for _, e := range evs {
+			dump.Metrics[obs.MetricEventsPrefix+e.Type]++
+			switch e.Type {
+			case journal.EventRetry:
+				dump.Metrics[obs.MetricRetries]++
+				if e.Kind != "" {
+					dump.Metrics[obs.MetricRetriesPrefix+e.Kind]++
+				}
+			case journal.EventQuarantine:
+				dump.Metrics[obs.MetricQuarantined]++
+			case journal.EventSalvaged:
+				dump.Metrics[obs.MetricSalvaged]++
+			}
+		}
+	}
+	b, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}
+
+// cmdTrace analyzes a span trace written by 'prose tune -trace': span
+// counts, the critical path through each root, and a per-phase
+// self/inclusive time table in the gptl timing-report format. The
+// telescoping self-time definition (self = duration minus the sum of
+// direct children) guarantees the self column sums exactly to the root
+// span's duration.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	path := fs.String("trace", "", "trace path to analyze (or pass it as the positional argument)")
+	top := fs.Int("top", 0, "limit the per-phase table to the top N phases by self time (0 = all)")
+	tree := fs.Bool("tree", false, "also print the span tree")
+	depth := fs.Int("depth", 4, "span tree depth limit (with -tree)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" && fs.NArg() == 1 {
+		*path = fs.Arg(0)
+	}
+	if *path == "" {
+		return fmt.Errorf("trace: usage: prose trace <path>")
+	}
+
+	recs, meta, err := obs.LoadTrace(*path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %s\n", *path)
+	if fp := meta["fingerprint"]; fp != "" {
+		fmt.Printf("  run: %s\n", fp)
+	}
+	roots := obs.BuildTree(recs)
+	fmt.Printf("  spans: %d in %d tree(s)  (%s)\n", len(recs), len(roots), formatCounts(obs.CountByName(recs)))
+
+	for _, root := range roots {
+		fmt.Printf("  root %s: %v\n", root.Rec.Name, root.Rec.Dur.Round(time.Microsecond))
+		cp := obs.CriticalPath(root)
+		parts := make([]string, len(cp))
+		for i, n := range cp {
+			parts[i] = fmt.Sprintf("%s %v", n.Rec.Name, n.Rec.Dur.Round(time.Microsecond))
+		}
+		fmt.Printf("  critical path: %s\n", strings.Join(parts, " -> "))
+	}
+
+	fmt.Printf("\nper-phase times (self telescopes to the root duration):\n")
+	table := gptl.FormatRegions(obs.PhaseRegions(roots))
+	if *top > 0 {
+		lines := strings.SplitAfter(table, "\n")
+		if len(lines) > *top+1 { // header + top rows
+			table = strings.Join(lines[:*top+1], "")
+		}
+	}
+	fmt.Print(table)
+
+	if *tree {
+		fmt.Printf("\nspan tree (depth <= %d):\n", *depth)
+		for _, root := range roots {
+			fmt.Print(obs.RenderTree(root, *depth))
+		}
 	}
 	return nil
 }

@@ -118,5 +118,8 @@ func (r *Result) Render() string {
 	} else {
 		fmt.Fprintf(&sb, "  1-minimal 64-bit set: %d atoms\n", len(r.Outcome.Minimal))
 	}
+	if r.Metrics != nil {
+		fmt.Fprintf(&sb, "  metrics:\n%s", r.Metrics.Render("    "))
+	}
 	return sb.String()
 }

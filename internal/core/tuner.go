@@ -27,6 +27,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/journal"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/resilience"
 	"repro/internal/search"
@@ -123,6 +124,17 @@ type Options struct {
 	// lets in-flight evaluations drain to completion; the soft stop —
 	// no *new* evaluation starts — always applies immediately.
 	DrainGrace time.Duration
+
+	// Trace, if non-nil, collects a hierarchical span trace of the run
+	// (tune → search.round → batch → eval → interp.run, plus retry and
+	// journal.append spans). Metrics, if non-nil, collects counters,
+	// gauges, and histograms; the final snapshot lands in
+	// Result.Metrics. Like Parallelism and the resilience knobs, neither
+	// is fingerprinted, and neither may perturb the evaluation stream or
+	// the journal bytes: they are strictly observational (test-enforced
+	// by TestTracingDoesNotPerturbJournal).
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
 }
 
 // supervising reports whether any resilience knob enables the
@@ -188,6 +200,9 @@ type Result struct {
 	// error; with a journal, a -resume run completes the search and
 	// produces a byte-identical journal.
 	Cancelled *search.Cancelled
+	// Metrics is the final snapshot of Options.Metrics (nil when the run
+	// collected no metrics); Render embeds it in the report.
+	Metrics *obs.Snapshot
 }
 
 // Tuner runs the full tuning cycle for one model.
@@ -424,6 +439,14 @@ func (t *Tuner) measuredTime(hotspot, total float64) float64 {
 // Evaluate implements search.Evaluator: it generates, "compiles"
 // (analyzes), runs, and scores one variant.
 func (t *Tuner) Evaluate(a transform.Assignment) *search.Evaluation {
+	return t.EvaluateSpan(nil, a)
+}
+
+// EvaluateSpan implements search.SpanEvaluator: identical to Evaluate,
+// additionally attributing the interpreter execution to an "interp.run"
+// child of sp and feeding interpreter counters to Options.Metrics. sp
+// may be nil; outcomes are identical with or without it.
+func (t *Tuner) EvaluateSpan(sp *obs.Span, a transform.Assignment) *search.Evaluation {
 	ev := &search.Evaluation{
 		Assignment: a,
 		Lowered:    a.Lowered(),
@@ -453,7 +476,22 @@ func (t *Tuner) Evaluate(a transform.Assignment) *search.Evaluation {
 		t.notify(ev)
 		return ev
 	}
+	isp := sp.Child(obs.SpanInterpRun)
 	res, runErr := in.Run()
+	if res != nil {
+		isp.AttrFloat("cycles", res.Cycles)
+		isp.AttrInt("steps", res.Steps)
+	}
+	if runErr != nil {
+		isp.Attr("error", runErr.Error())
+	}
+	isp.End()
+	if m := t.opts.Metrics; m != nil {
+		m.Counter(obs.MetricInterpRuns).Add(1)
+		if res != nil {
+			m.Counter(obs.MetricInterpSteps).Add(res.Steps)
+		}
+	}
 	if runErr != nil {
 		if re, ok := runErr.(*interp.RunError); ok && re.Kind == interp.FailCancelled {
 			// Hard cancellation cut this run short. A truncated
@@ -606,6 +644,13 @@ func (t *Tuner) Fingerprint() string {
 	)
 }
 
+// EvaluationBudget returns the run's resolved evaluation budget
+// (0 = unlimited) — what the progress reporter shows as the total.
+func (t *Tuner) EvaluationBudget() int {
+	_, budget := t.searchParams()
+	return budget
+}
+
 // searchParams resolves the acceptance criteria and evaluation budget.
 func (t *Tuner) searchParams() (search.Criteria, int) {
 	criteria := search.Criteria{
@@ -748,6 +793,13 @@ func (t *Tuner) openJournal(withEvents bool) (*journalState, error) {
 func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 	criteria, budget := t.searchParams()
 
+	// The run's root trace span. Everything below hangs off it, so the
+	// per-phase self times of the trace telescope to its duration.
+	root := t.opts.Trace.Root(obs.SpanTune)
+	root.Attr("model", t.model.Name)
+	root.AttrInt("budget", int64(budget))
+	defer root.End()
+
 	// Two-phase cancellation: ctx itself is the soft stop (gates new
 	// evaluations in the search layer); the hard context reaches the
 	// interpreter and fires DrainGrace later, cutting in-flight
@@ -782,6 +834,8 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 		MaxEvaluations: budget,
 		Parallelism:    t.opts.Parallelism,
 		Log:            log,
+		Span:           root,
+		Metrics:        t.opts.Metrics,
 	}
 	supervising := t.opts.supervising()
 
@@ -804,8 +858,15 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 		sopts.Salvaged = js.salvaged
 		sopts.OnAdd = func(ev *search.Evaluation, replayed bool) {
 			if !replayed {
-				if err := jnl.Append(journal.FromEvaluation(fp, ev)); err != nil {
+				jsp := root.Child(obs.SpanJournalAppend)
+				jsp.AttrInt("index", int64(ev.Index))
+				err := jnl.Append(journal.FromEvaluation(fp, ev))
+				jsp.End()
+				if err != nil {
 					panic(journalAbort{err})
+				}
+				if m := t.opts.Metrics; m != nil {
+					m.Counter(obs.MetricJournalAppends).Add(1)
 				}
 			}
 			// The checkpoint is rewritten after the journal append is
@@ -848,6 +909,7 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 			HalfOpen:       t.opts.HalfOpen,
 			MaxQuarantined: t.opts.MaxQuarantined,
 			Backoff:        resilience.Backoff{Base: t.opts.RetryBackoff, Seed: t.opts.Seed},
+			Metrics:        t.opts.Metrics,
 		}
 		if events != nil {
 			ev := events
@@ -942,6 +1004,10 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 	if sup != nil {
 		st := sup.Stats()
 		result.Resilience = &st
+	}
+	if t.opts.Metrics != nil {
+		snap := t.opts.Metrics.Snapshot()
+		result.Metrics = &snap
 	}
 	for q, pts := range t.procPoints {
 		list := make([]ProcPoint, 0, len(pts))

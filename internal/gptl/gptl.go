@@ -170,10 +170,15 @@ func (t *Timers) Reset() {
 }
 
 // Report renders a GPTL-style table of the regions.
-func (t *Timers) Report() string {
+func (t *Timers) Report() string { return FormatRegions(t.Regions()) }
+
+// FormatRegions renders regions as the GPTL-style table. It is the
+// single formatting path for both Timers.Report and the trace-analysis
+// summaries in `prose trace`; rows appear in the order given.
+func FormatRegions(regions []*Region) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-42s %12s %16s %16s %14s\n", "region", "calls", "self", "inclusive", "self/call")
-	for _, r := range t.Regions() {
+	for _, r := range regions {
 		fmt.Fprintf(&sb, "%-42s %12d %16.0f %16.0f %14.2f\n",
 			r.Name, r.Calls, r.Self, r.Inclusive, r.PerCall())
 	}

@@ -251,3 +251,75 @@ func containsLine(s, sub string) bool {
 	}
 	return false
 }
+
+// TestRecursionSelfTimeThroughNestedRegion pins down self-time
+// attribution when recursion re-enters a region through another one
+// (f -> g -> f): each slice of wall time is charged to exactly one
+// region's self, recursion inflates neither self nor inclusive, and
+// the self times still telescope to the total.
+func TestRecursionSelfTimeThroughNestedRegion(t *testing.T) {
+	c := &fakeClock{}
+	tm := New(c.clock)
+	tm.Start("f")
+	c.advance(2)
+	tm.Start("g")
+	c.advance(3)
+	tm.Start("f") // recursive re-entry, two frames deep
+	c.advance(4)
+	if err := tm.Stop("f"); err != nil {
+		t.Fatal(err)
+	}
+	c.advance(1)
+	if err := tm.Stop("g"); err != nil {
+		t.Fatal(err)
+	}
+	c.advance(2)
+	if err := tm.Stop("f"); err != nil {
+		t.Fatal(err)
+	}
+
+	f, g := tm.Region("f"), tm.Region("g")
+	// f's self: 2 before g, 4 inside the recursive instance, 2 after g.
+	if f.Self != 8 {
+		t.Errorf("f self = %g, want 8", f.Self)
+	}
+	// f's inclusive counts the outermost instance only: the full 12,
+	// not 12+4.
+	if f.Inclusive != 12 || f.Calls != 2 {
+		t.Errorf("f inclusive = %g calls = %d, want 12/2", f.Inclusive, f.Calls)
+	}
+	// g's self excludes the recursive f instance it hosted: 3+1.
+	if g.Self != 4 || g.Inclusive != 8 {
+		t.Errorf("g self = %g incl = %g, want 4/8", g.Self, g.Inclusive)
+	}
+	if got := f.Self + g.Self; got != 12 {
+		t.Errorf("self times sum to %g, want the 12-unit total", got)
+	}
+	if f.MaxDepth != 3 || g.MaxDepth != 2 {
+		t.Errorf("max depths f=%d g=%d, want 3/2", f.MaxDepth, g.MaxDepth)
+	}
+}
+
+// TestFormatRegionsMatchesReport: the formatting core factored out for
+// reuse (prose trace renders span phases with it) stays byte-identical
+// to the Report method on the same regions.
+func TestFormatRegionsMatchesReport(t *testing.T) {
+	c := &fakeClock{}
+	tm := New(c.clock)
+	tm.Start("outer")
+	c.advance(7)
+	tm.Start("inner")
+	c.advance(3)
+	if err := tm.Stop("inner"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Stop("outer"); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := FormatRegions(tm.Regions()), tm.Report(); got != want {
+		t.Errorf("FormatRegions output diverged from Report:\n%q\nvs\n%q", got, want)
+	}
+	if FormatRegions(nil) == "" {
+		t.Error("FormatRegions(nil) lost the header")
+	}
+}

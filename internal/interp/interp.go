@@ -91,6 +91,7 @@ type Result struct {
 	Cycles     float64
 	Casts      int64   // dynamic kind-conversion count
 	CastCycles float64 // cycles spent on kind conversions
+	Steps      int64   // statements executed (loop bodies re-counted)
 	Timers     *gptl.Timers
 	// ProcCastCycles attributes cast cycles to the procedure executing
 	// them — the evidence behind the paper's "40% of CPU time is
@@ -133,9 +134,10 @@ type Interp struct {
 	procCasts  map[string]float64
 	curProc    []string // procedure name stack for cast attribution
 
-	// budgetChecks counts checkBudget calls so the (comparatively
-	// costly) Context poll runs only every cancelPollInterval checks.
-	budgetChecks uint64
+	// steps counts checkBudget calls — approximately statements
+	// executed. It feeds Result.Steps and paces the (comparatively
+	// costly) Context poll to every cancelPollInterval steps.
+	steps int64
 }
 
 // cancelPollInterval is how many budget checks (≈ statements) pass
@@ -198,6 +200,7 @@ func (i *Interp) result() *Result {
 		Cycles:         i.cycles,
 		Casts:          i.casts,
 		CastCycles:     i.castCycles,
+		Steps:          i.steps,
 		Timers:         i.timers,
 		ProcCastCycles: i.procCasts,
 	}
@@ -376,12 +379,10 @@ func (i *Interp) checkBudget(pos ft.Pos) error {
 		return &RunError{Pos: pos, Kind: FailTimeout,
 			Msg: fmt.Sprintf("exceeded %.0f cycles", i.cfg.CycleBudget)}
 	}
-	if i.cfg.Context != nil {
-		i.budgetChecks++
-		if i.budgetChecks%cancelPollInterval == 0 {
-			if err := i.cfg.Context.Err(); err != nil {
-				return &RunError{Pos: pos, Kind: FailCancelled, Msg: err.Error()}
-			}
+	i.steps++
+	if i.cfg.Context != nil && i.steps%cancelPollInterval == 0 {
+		if err := i.cfg.Context.Err(); err != nil {
+			return &RunError{Pos: pos, Kind: FailCancelled, Msg: err.Error()}
 		}
 	}
 	return nil

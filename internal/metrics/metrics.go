@@ -18,7 +18,11 @@ import (
 
 // RelError returns |(base - v) / base|, the paper's relative error. A
 // zero baseline falls back to the absolute difference so the metric
-// stays finite (necessary conditions, not sufficient — §VI).
+// stays finite (necessary conditions, not sufficient — §VI). The
+// fallback means RelError(0, v) = |v| is an absolute quantity on a
+// different scale from the relative values around it; thresholds for
+// signals that legitimately cross zero should account for this.
+// RelError(0, 0) is exactly 0: agreeing on zero is not an error.
 func RelError(base, v float64) float64 {
 	d := math.Abs(base - v)
 	if base == 0 {
@@ -27,7 +31,11 @@ func RelError(base, v float64) float64 {
 	return d / math.Abs(base)
 }
 
-// L2 returns the Euclidean norm of xs.
+// L2 returns the Euclidean norm of xs. By convention the norm of an
+// empty (or nil) series is 0 — indistinguishable from a series of
+// exact zeros — so callers for whom "no samples" must not read as "no
+// error" (e.g. a variant that produced no output frames) have to check
+// emptiness themselves before aggregating.
 func L2(xs []float64) float64 {
 	var s float64
 	for _, x := range xs {

@@ -143,3 +143,43 @@ func TestAnyNonFinite(t *testing.T) {
 		t.Error("-Inf missed")
 	}
 }
+
+// TestRelErrorZeroBaselineContract pins the documented zero-baseline
+// fallback: RelError(0, v) is the absolute difference |v| — an
+// absolute quantity, not a relative one — and agreeing on zero is not
+// an error.
+func TestRelErrorZeroBaselineContract(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		return RelError(0, v) == math.Abs(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	if got := RelError(0, 0); got != 0 {
+		t.Errorf("RelError(0, 0) = %g, want 0", got)
+	}
+	// Negative zero baseline takes the same fallback (== compares equal).
+	if got := RelError(math.Copysign(0, -1), 0.5); got != 0.5 {
+		t.Errorf("RelError(-0, 0.5) = %g, want 0.5", got)
+	}
+}
+
+// TestL2EmptySeriesContract pins the documented empty-series
+// convention: the norm of an empty or nil series is 0, byte-for-byte
+// indistinguishable from a series of exact zeros — so callers must
+// check emptiness themselves when "no samples" must not pass as "no
+// error".
+func TestL2EmptySeriesContract(t *testing.T) {
+	if got := L2([]float64{}); got != 0 {
+		t.Errorf("L2(empty) = %g, want 0", got)
+	}
+	if L2([]float64{}) != L2([]float64{0, 0, 0}) {
+		t.Error("empty series and all-zero series disagree — the documented ambiguity no longer holds")
+	}
+	if got, err := L2RelErr(nil, nil); err != nil || got != 0 {
+		t.Errorf("L2RelErr(nil, nil) = %g, %v, want 0, nil", got, err)
+	}
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer serves live run introspection over HTTP on a private mux
+// (nothing leaks into http.DefaultServeMux):
+//
+//	/debug/metrics  registry snapshot as JSON
+//	/debug/vars     expvar (includes prose_metrics)
+//	/debug/pprof/*  net/http/pprof profiles
+type DebugServer struct {
+	srv  *http.Server
+	addr string
+	done chan struct{}
+}
+
+// ServeDebug starts a debug server on addr (e.g. "127.0.0.1:6060";
+// ":0" picks a free port — see Addr). The registry may be nil, in
+// which case /debug/metrics serves an empty snapshot.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	reg.PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ds := &DebugServer{
+		srv:  &http.Server{Handler: mux},
+		addr: ln.Addr().String(),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(ds.done)
+		ds.srv.Serve(ln)
+	}()
+	return ds, nil
+}
+
+// Addr returns the server's bound address.
+func (d *DebugServer) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.addr
+}
+
+// Close shuts the server down gracefully (bounded wait for in-flight
+// requests) and waits for the serve goroutine to exit. Nil-safe.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := d.srv.Shutdown(ctx)
+	<-d.done
+	return err
+}

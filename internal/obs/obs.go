@@ -1,0 +1,47 @@
+// Package obs is the tuner's observability layer: a hierarchical span
+// tracer with deterministic IDs, a counters/gauges/histograms registry,
+// a live progress reporter, and a debug HTTP server. Every entry point
+// is nil-safe — a nil *Tracer, *Span, or *Registry is the no-op
+// implementation, so instrumented code carries no conditionals and the
+// disabled path performs no allocations (enforced by
+// TestDisabledPathAllocFree).
+//
+// Observability never participates in run identity: tracer and registry
+// options are not fingerprinted, and instrumentation must not perturb
+// the byte-deterministic evaluation journal (enforced by
+// core.TestTracingDoesNotPerturbJournal).
+package obs
+
+// Span names emitted by the tuning pipeline, outermost first.
+const (
+	SpanTune          = "tune"           // core.Tuner.Run root
+	SpanSearchRound   = "search.round"   // one ddmin candidate round
+	SpanBatch         = "batch"          // one deterministic evaluation batch
+	SpanEval          = "eval"           // one variant evaluation (per worker)
+	SpanRetry         = "retry"          // one resilience retry (backoff + re-attempt)
+	SpanInterpRun     = "interp.run"     // one interpreter execution
+	SpanJournalAppend = "journal.append" // one fsync'd journal record
+)
+
+// Metric names. Counters unless noted; the *Prefix constants are
+// families keyed by a dynamic suffix (status, fault kind, event type).
+const (
+	MetricEvals          = "evals"           // evaluations recorded in the search log
+	MetricEvalsPrefix    = "evals_"          // evals_<status>: pass/fail/error/infra
+	MetricCacheHits      = "cache_hits"      // batch slots served from the log cache
+	MetricWarmHits       = "warm_hits"       // batch slots served from warm (replayed) records
+	MetricJournalAppends = "journal_appends" // fresh records appended to the journal
+	MetricRetries        = "retries"         // resilience retries, all kinds
+	MetricRetriesPrefix  = "retries_"        // retries_<kind>: scheduler-kill/oom/hang/…
+	MetricQuarantined    = "quarantined"     // variants quarantined this run
+	MetricSalvaged       = "salvaged"        // completed evaluations salvaged from aborted batches
+	MetricEventsPrefix   = "events_"         // events_<type>: every resilience event by type
+	MetricInterpRuns     = "interp_runs"     // interpreter executions
+	MetricInterpSteps    = "interp_steps"    // interpreter statements executed, summed
+
+	GaugeBestSpeedup = "best_speedup" // best passing speedup so far
+	GaugeBreakerOpen = "breaker_open" // 1 while the circuit breaker is open
+
+	HistQueueWaitNS = "queue_wait_ns" // batch job wait for a worker slot
+	HistEvalRunNS   = "eval_run_ns"   // evaluation wall time once running
+)

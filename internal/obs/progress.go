@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress emits a one-line heartbeat (evaluations done/total, best
+// speedup, windowed rate, ETA, breaker/quarantine state) on a fixed
+// interval, reading everything from a metrics Registry so it stays
+// decoupled from the tuner. Start/Stop are race-safe; Stop drains the
+// reporting goroutine before returning and prints one final line, so
+// shutdown is clean even mid-interval.
+type Progress struct {
+	w        io.Writer
+	interval time.Duration
+	reg      *Registry
+	total    int64
+
+	mu      sync.Mutex
+	samples []rateSample
+	done    chan struct{}
+	wg      sync.WaitGroup
+	running bool
+}
+
+type rateSample struct {
+	t time.Time
+	n int64
+}
+
+// rateWindow bounds the number of samples kept for the windowed rate.
+const rateWindow = 12
+
+// NewProgress builds a reporter writing to w every interval. total is
+// the evaluation budget (0 when unlimited — no ETA is printed then).
+func NewProgress(w io.Writer, interval time.Duration, reg *Registry, total int64) *Progress {
+	return &Progress{w: w, interval: interval, reg: reg, total: total}
+}
+
+// Start launches the heartbeat goroutine. Nil-safe; idempotent.
+func (p *Progress) Start() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.running {
+		p.mu.Unlock()
+		return
+	}
+	p.running = true
+	p.done = make(chan struct{})
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go p.loop()
+}
+
+func (p *Progress) loop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-tick.C:
+			fmt.Fprintln(p.w, p.Line())
+		}
+	}
+}
+
+// Stop halts the heartbeat, waits for the goroutine to exit, and emits
+// a final state line. Nil-safe; idempotent.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if !p.running {
+		p.mu.Unlock()
+		return
+	}
+	p.running = false
+	close(p.done)
+	p.mu.Unlock()
+	p.wg.Wait()
+	fmt.Fprintln(p.w, p.Line())
+}
+
+// Line renders the current heartbeat line.
+func (p *Progress) Line() string {
+	now := time.Now()
+	done := p.reg.Counter(MetricEvals).Value()
+	rate := p.observe(now, done)
+
+	var sb []byte
+	sb = append(sb, "progress:"...)
+	if p.total > 0 {
+		sb = append(sb, fmt.Sprintf(" %d/%d evals", done, p.total)...)
+	} else {
+		sb = append(sb, fmt.Sprintf(" %d evals", done)...)
+	}
+	if best := p.reg.Gauge(GaugeBestSpeedup).Value(); best > 0 {
+		sb = append(sb, fmt.Sprintf("  best %.3fx", best)...)
+	}
+	if rate > 0 {
+		sb = append(sb, fmt.Sprintf("  %.1f eval/s", rate)...)
+		if left := p.total - done; p.total > 0 && left > 0 {
+			eta := time.Duration(float64(left)/rate) * time.Second
+			sb = append(sb, fmt.Sprintf("  eta %s", eta.Round(time.Second))...)
+		}
+	}
+	if n := p.reg.Counter(MetricRetries).Value(); n > 0 {
+		sb = append(sb, fmt.Sprintf("  retried %d", n)...)
+	}
+	if n := p.reg.Counter(MetricQuarantined).Value(); n > 0 {
+		sb = append(sb, fmt.Sprintf("  quarantined %d", n)...)
+	}
+	if p.reg.Gauge(GaugeBreakerOpen).Value() > 0 {
+		sb = append(sb, "  breaker OPEN"...)
+	}
+	return string(sb)
+}
+
+// observe records (now, done) and returns the evals/sec rate over the
+// sample window.
+func (p *Progress) observe(now time.Time, done int64) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.samples = append(p.samples, rateSample{now, done})
+	if len(p.samples) > rateWindow {
+		p.samples = p.samples[len(p.samples)-rateWindow:]
+	}
+	first := p.samples[0]
+	dt := now.Sub(first.t).Seconds()
+	if dt <= 0 || done <= first.n {
+		return 0
+	}
+	return float64(done-first.n) / dt
+}

@@ -1,0 +1,401 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies a span within one trace. IDs are deterministic: a
+// span's ID depends only on the run fingerprint, its parent's ID, and
+// its child sequence number — never on timing, goroutine identity, or
+// memory addresses — so two runs of the same tune emit the same IDs.
+type SpanID uint64
+
+func (id SpanID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// Attr is one key/value span attribute (variant key, outcome, cost…).
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// SpanRecord is one finished span as stored in the trace buffer and as
+// reloaded from a trace file. Start is an offset from the tracer epoch.
+type SpanRecord struct {
+	ID     SpanID
+	Parent SpanID // 0 for root spans
+	Name   string
+	Worker int // worker-slot attribution; becomes the trace tid
+	Start  time.Duration
+	Dur    time.Duration
+	Attrs  []Attr
+}
+
+// End returns the span's finish offset from the tracer epoch.
+func (r SpanRecord) End() time.Duration { return r.Start + r.Dur }
+
+// Attr returns the value of the named attribute, or "".
+func (r SpanRecord) Attr(key string) string {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Finished spans land in one of traceShards mutex-guarded buffers
+// selected by span ID, so concurrent workers rarely contend on End and
+// never during span construction or attribute writes (a live Span is
+// owned by the goroutine that created it).
+const traceShards = 16
+
+type traceShard struct {
+	mu   sync.Mutex
+	recs []SpanRecord
+}
+
+// Tracer collects finished spans for one tuning run. The zero value is
+// not usable; a nil *Tracer is the no-op tracer.
+type Tracer struct {
+	fingerprint string
+	fpHash      uint64
+	epoch       time.Time
+	rootSeq     atomic.Uint64
+	shards      [traceShards]traceShard
+}
+
+// NewTracer returns a tracer whose span IDs are seeded from the given
+// run fingerprint (any stable string describing the run).
+func NewTracer(fingerprint string) *Tracer {
+	return &Tracer{
+		fingerprint: fingerprint,
+		fpHash:      mix64(fnv64(fingerprint)),
+		epoch:       time.Now(),
+	}
+}
+
+// Fingerprint returns the fingerprint the tracer was built with.
+func (t *Tracer) Fingerprint() string {
+	if t == nil {
+		return ""
+	}
+	return t.fingerprint
+}
+
+// Root starts a new top-level span. Nil-safe: returns a nil span on a
+// nil tracer, and every Span method is nil-safe in turn.
+func (t *Tracer) Root(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		t:     t,
+		id:    deriveID(t.fpHash, 0, t.rootSeq.Add(1)),
+		name:  name,
+		start: time.Now(),
+	}
+}
+
+// Len reports the number of finished spans buffered so far.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.recs)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Records merges the per-shard buffers and returns all finished spans
+// sorted by start offset, then ID. The tracer remains usable.
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	var recs []SpanRecord
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		recs = append(recs, sh.recs...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Start != recs[j].Start {
+			return recs[i].Start < recs[j].Start
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	return recs
+}
+
+// Span is a live span. It is owned by the goroutine that created it
+// until End; only child-sequence allocation (Child) is safe to call
+// concurrently from child goroutines.
+type Span struct {
+	t      *Tracer
+	id     SpanID
+	parent SpanID
+	name   string
+	worker int32
+	start  time.Time
+	kids   atomic.Uint64
+	attrs  []Attr
+}
+
+// ID returns the span's deterministic ID (0 on a nil span).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Child starts a sub-span. Safe to call from multiple goroutines
+// holding the same parent.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		t:      s.t,
+		id:     deriveID(s.t.fpHash, s.id, s.kids.Add(1)),
+		parent: s.id,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// Attr records a string attribute on the span.
+func (s *Span) Attr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{key, value})
+}
+
+// AttrInt records an integer attribute on the span.
+func (s *Span) AttrInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{key, strconv.FormatInt(v, 10)})
+}
+
+// AttrFloat records a float attribute on the span.
+func (s *Span) AttrFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{key, strconv.FormatFloat(v, 'g', -1, 64)})
+}
+
+// SetWorker tags the span with a worker-slot number (trace tid).
+func (s *Span) SetWorker(w int) {
+	if s == nil {
+		return
+	}
+	s.worker = int32(w)
+}
+
+// End finishes the span and moves it to the tracer's buffer.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	rec := SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Worker: int(s.worker),
+		Start:  s.start.Sub(s.t.epoch),
+		Dur:    time.Since(s.start),
+		Attrs:  s.attrs,
+	}
+	if rec.Dur < 0 {
+		rec.Dur = 0
+	}
+	sh := &s.t.shards[uint64(s.id)%traceShards]
+	sh.mu.Lock()
+	sh.recs = append(sh.recs, rec)
+	sh.mu.Unlock()
+}
+
+// deriveID folds (fingerprint hash, parent ID, child sequence) through
+// the 64-bit finalizer. 0 is reserved for "no parent".
+func deriveID(fpHash uint64, parent SpanID, seq uint64) SpanID {
+	id := mix64(fpHash ^ mix64(uint64(parent)+0x9e3779b97f4a7c15*seq))
+	if id == 0 {
+		id = 1
+	}
+	return SpanID(id)
+}
+
+// mix64 is the MurmurHash3 fmix64 finalizer (same construction as
+// internal/search's fault injector): cheap, well-mixed, deterministic.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// fnv64 is FNV-1a over a string, inlined to avoid hash/fnv allocations.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Chrome trace_event interchange. Each finished span becomes one
+// "complete" event (ph:"X"); ts/dur are microseconds for the viewer,
+// while args carry the exact nanosecond values plus span identity and
+// attributes so LoadTrace round-trips losslessly.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent     `json:"traceEvents"`
+	OtherData   map[string]string `json:"otherData,omitempty"`
+}
+
+// Reserved args keys used for lossless round-tripping; span attributes
+// with these names would be shadowed, so instrumentation avoids them.
+const (
+	argID      = "span_id"
+	argParent  = "span_parent"
+	argStartNS = "start_ns"
+	argDurNS   = "dur_ns"
+)
+
+// Export writes the trace as Chrome trace_event JSON (load it in
+// chrome://tracing, Perfetto, or `prose trace`).
+func (t *Tracer) Export(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: export of nil tracer")
+	}
+	recs := t.Records()
+	ct := chromeTrace{
+		TraceEvents: make([]chromeEvent, 0, len(recs)),
+		OtherData:   map[string]string{"fingerprint": t.fingerprint},
+	}
+	for _, r := range recs {
+		args := make(map[string]string, len(r.Attrs)+4)
+		for _, a := range r.Attrs {
+			args[a.Key] = a.Value
+		}
+		args[argID] = r.ID.String()
+		if r.Parent != 0 {
+			args[argParent] = r.Parent.String()
+		}
+		args[argStartNS] = strconv.FormatInt(int64(r.Start), 10)
+		args[argDurNS] = strconv.FormatInt(int64(r.Dur), 10)
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: r.Name,
+			Cat:  "prose",
+			Ph:   "X",
+			TS:   float64(r.Start) / 1e3,
+			Dur:  float64(r.Dur) / 1e3,
+			PID:  1,
+			TID:  r.Worker,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ct)
+}
+
+// WriteFile exports the trace to path (0644, truncating).
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTrace reads a Chrome trace_event file written by Export and
+// reconstructs the span records plus the trace-level metadata.
+func LoadTrace(path string) ([]SpanRecord, map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(data, &ct); err != nil {
+		return nil, nil, fmt.Errorf("obs: %s: not a trace_event file: %w", path, err)
+	}
+	recs := make([]SpanRecord, 0, len(ct.TraceEvents))
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		r := SpanRecord{Name: ev.Name, Worker: ev.TID}
+		// Exact nanosecond fields win; fall back to the viewer's
+		// microsecond ts/dur for traces from other producers.
+		r.Start = nsArg(ev.Args, argStartNS, time.Duration(ev.TS*1e3))
+		r.Dur = nsArg(ev.Args, argDurNS, time.Duration(ev.Dur*1e3))
+		if id, err := strconv.ParseUint(ev.Args[argID], 16, 64); err == nil {
+			r.ID = SpanID(id)
+		}
+		if p, err := strconv.ParseUint(ev.Args[argParent], 16, 64); err == nil {
+			r.Parent = SpanID(p)
+		}
+		keys := make([]string, 0, len(ev.Args))
+		for k := range ev.Args {
+			switch k {
+			case argID, argParent, argStartNS, argDurNS:
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			r.Attrs = append(r.Attrs, Attr{k, ev.Args[k]})
+		}
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Start != recs[j].Start {
+			return recs[i].Start < recs[j].Start
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	return recs, ct.OtherData, nil
+}
+
+func nsArg(args map[string]string, key string, fallback time.Duration) time.Duration {
+	if v, err := strconv.ParseInt(args[key], 10, 64); err == nil {
+		return time.Duration(v)
+	}
+	return fallback
+}

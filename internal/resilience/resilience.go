@@ -47,6 +47,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/transform"
 )
@@ -243,6 +244,12 @@ type Supervised struct {
 	// evaluating goroutine; a panic here propagates like an evaluator
 	// panic would, but is not classified or retried.
 	OnEvent func(Event)
+	// Metrics, if non-nil, receives per-event counters (events_<type>,
+	// retries, retries_<kind>, quarantined) and the breaker_open gauge —
+	// purely observational, alongside (never instead of) the events
+	// sidecar. Unlike Stats.Quarantined it counts only quarantines
+	// decided this run, not ones preloaded from a resumed journal.
+	Metrics *obs.Registry
 
 	mu          sync.Mutex
 	quarantined map[string]string // assignment key -> rendered fault
@@ -315,6 +322,22 @@ func (s *Supervised) sleep(d time.Duration) {
 }
 
 func (s *Supervised) event(e Event) {
+	if m := s.Metrics; m != nil {
+		m.Counter(obs.MetricEventsPrefix + string(e.Type)).Add(1)
+		switch e.Type {
+		case EventRetry:
+			m.Counter(obs.MetricRetries).Add(1)
+			if e.Kind != "" {
+				m.Counter(obs.MetricRetriesPrefix + e.Kind).Add(1)
+			}
+		case EventQuarantine:
+			m.Counter(obs.MetricQuarantined).Add(1)
+		case EventBreakerTrip, EventBreakerOpen:
+			m.Gauge(obs.GaugeBreakerOpen).Set(1)
+		case EventBreakerClose:
+			m.Gauge(obs.GaugeBreakerOpen).Set(0)
+		}
+	}
 	if s.OnEvent != nil {
 		s.OnEvent(e)
 	}
@@ -381,7 +404,9 @@ func (s *Supervised) abortValueLocked() any {
 // call runs on its own goroutine: if it produces nothing within the
 // limit it is abandoned (the goroutine leaks until the evaluation
 // returns on its own) and a transient *HangFault is reported instead.
-func (s *Supervised) attempt(key string, a transform.Assignment) (ev *search.Evaluation, fault any) {
+// sp is the caller's eval span, threaded through to span-aware inner
+// evaluators (nil when tracing is off).
+func (s *Supervised) attempt(sp *obs.Span, key string, a transform.Assignment) (ev *search.Evaluation, fault any) {
 	s.mu.Lock()
 	s.stats.Attempts++
 	s.mu.Unlock()
@@ -391,7 +416,7 @@ func (s *Supervised) attempt(key string, a transform.Assignment) (ev *search.Eva
 				fault = r
 			}
 		}()
-		return s.Inner.Evaluate(a), nil
+		return search.Evaluate(s.Inner, sp, a), nil
 	}
 	type outcome struct {
 		ev    *search.Evaluation
@@ -405,7 +430,7 @@ func (s *Supervised) attempt(key string, a transform.Assignment) (ev *search.Eva
 				ch <- outcome{fault: r}
 			}
 		}()
-		ch <- outcome{ev: s.Inner.Evaluate(a)}
+		ch <- outcome{ev: search.Evaluate(s.Inner, sp, a)}
 	}()
 	timer := time.NewTimer(s.Watchdog)
 	defer timer.Stop()
@@ -428,6 +453,14 @@ func quarantineDetail(fault string) string { return "quarantined: " + fault }
 
 // Evaluate implements search.Evaluator.
 func (s *Supervised) Evaluate(a transform.Assignment) *search.Evaluation {
+	return s.EvaluateSpan(nil, a)
+}
+
+// EvaluateSpan implements search.SpanEvaluator: identical to Evaluate,
+// additionally emitting one "retry" child span per retried attempt
+// (covering the backoff sleep and the re-attempt) and threading sp
+// through to a span-aware inner evaluator. sp may be nil.
+func (s *Supervised) EvaluateSpan(sp *obs.Span, a transform.Assignment) *search.Evaluation {
 	key := a.Key()
 
 	s.mu.Lock()
@@ -462,8 +495,21 @@ func (s *Supervised) Evaluate(a transform.Assignment) *search.Evaluation {
 	}
 
 	var lastFault string
+	// rsp is the span of the retry currently being paid for: opened when
+	// a retry is decided, closed — with its outcome — when the retried
+	// attempt returns.
+	var rsp *obs.Span
 	for attempt := 0; ; attempt++ {
-		ev, fault := s.attempt(key, a)
+		ev, fault := s.attempt(sp, key, a)
+		if rsp != nil {
+			if fault == nil {
+				rsp.Attr("outcome", "recovered")
+			} else {
+				rsp.Attr("outcome", "failed")
+			}
+			rsp.End()
+			rsp = nil
+		}
 		if fault == nil {
 			s.mu.Lock()
 			s.consecutive = 0
@@ -509,6 +555,12 @@ func (s *Supervised) Evaluate(a transform.Assignment) *search.Evaluation {
 			s.stats.Retried++
 			s.mu.Unlock()
 			s.event(Event{Type: EventRetry, Key: key, Attempt: attempt + 1, Fault: lastFault, Kind: kind, Backoff: delay})
+			rsp = sp.Child(obs.SpanRetry)
+			rsp.Attr("key", key)
+			rsp.AttrInt("attempt", int64(attempt+1))
+			rsp.Attr("kind", kind)
+			rsp.Attr("class", "transient")
+			rsp.AttrInt("backoff_ns", int64(delay))
 			s.sleep(delay)
 			continue
 		}

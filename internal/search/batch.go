@@ -3,7 +3,9 @@ package search
 import (
 	"context"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transform"
 )
 
@@ -47,7 +49,15 @@ import (
 // are flushed or salvaged like any other completed sibling. Hard
 // cancellation of in-flight work is the evaluator's business (the tuner
 // threads a second, grace-delayed context into the interpreter).
-func batchEval(ctx context.Context, log *Log, eval Evaluator, batch []transform.Assignment, parallelism int) []*Evaluation {
+//
+// Observability: when sp is non-nil the batch emits a "batch" span with
+// one "eval" child per fresh evaluation, attributed to the worker slot
+// that ran it; when the log carries a metrics registry, cache/warm hits
+// and queue-wait vs. run-time histograms are recorded. Both are
+// strictly observational — a nil span and nil registry take the
+// allocation-free no-op path and the evaluation order, results, and
+// journal bytes are identical either way.
+func batchEval(ctx context.Context, log *Log, eval Evaluator, batch []transform.Assignment, parallelism int, sp *obs.Span) []*Evaluation {
 	if parallelism < 1 {
 		parallelism = 1
 	}
@@ -79,10 +89,30 @@ func batchEval(ctx context.Context, log *Log, eval Evaluator, batch []transform.
 		jobs = append(jobs, j)
 	}
 
+	bsp := sp.Child(obs.SpanBatch)
+	bsp.AttrInt("size", int64(len(batch)))
+	bsp.AttrInt("jobs", int64(len(jobs)))
+	defer bsp.End()
+	if log.metrics != nil {
+		warmServed := 0
+		for ji := range jobs {
+			if jobs[ji].warm != nil {
+				warmServed++
+			}
+		}
+		log.metrics.Counter(obs.MetricCacheHits).Add(int64(len(batch) - len(jobs)))
+		log.metrics.Counter(obs.MetricWarmHits).Add(int64(warmServed))
+	}
+
 	fresh := make([]*Evaluation, len(jobs))
 	panics := make([]any, len(jobs))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, parallelism)
+	// Worker slots double as trace attribution: an eval span carries the
+	// 1-based slot number that ran it (the trace viewer's tid).
+	slots := make(chan int, parallelism)
+	for w := 1; w <= parallelism; w++ {
+		slots <- w
+	}
 	for ji := range jobs {
 		if jobs[ji].warm != nil {
 			ev := jobs[ji].warm
@@ -98,13 +128,33 @@ func batchEval(ctx context.Context, log *Log, eval Evaluator, batch []transform.
 					panics[ji] = r
 				}
 			}()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			var queued time.Time
+			if log.metrics != nil {
+				queued = time.Now()
+			}
+			w := <-slots
+			defer func() { slots <- w }()
+			if log.metrics != nil {
+				log.metrics.Histogram(obs.HistQueueWaitNS).Observe(float64(time.Since(queued)))
+			}
 			// The last cancellation gate before paying for an evaluation:
 			// a done context stops new work while siblings already inside
 			// the evaluator drain.
 			checkCancelled(ctx)
-			ev := eval.Evaluate(jobs[ji].a)
+			esp := bsp.Child(obs.SpanEval)
+			esp.SetWorker(w)
+			esp.Attr("key", jobs[ji].a.Key())
+			var started time.Time
+			if log.metrics != nil {
+				started = time.Now()
+			}
+			ev := Evaluate(eval, esp, jobs[ji].a)
+			if log.metrics != nil {
+				log.metrics.Histogram(obs.HistEvalRunNS).Observe(float64(time.Since(started)))
+			}
+			esp.Attr("outcome", ev.Status.String())
+			esp.AttrFloat("speedup", ev.Speedup)
+			esp.End()
 			ev.Assignment = jobs[ji].a
 			fresh[ji] = ev
 		}(ji)

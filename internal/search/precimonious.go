@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/transform"
 )
 
@@ -64,6 +65,14 @@ type Options struct {
 	// supervisor's circuit breaker fails fast this way — pre-create the
 	// log so the completed work survives the unwind.
 	Log *Log
+	// Span, if non-nil, is the parent span under which the search emits
+	// "search.round"/"batch"/"eval" trace spans. Metrics, if non-nil,
+	// receives counters and histograms. Both are purely observational:
+	// the search's behavior, evaluation order, and journal bytes are
+	// identical whether or not they are set, and neither participates in
+	// the run fingerprint.
+	Span    *obs.Span
+	Metrics *obs.Registry
 }
 
 // Precimonious runs the delta-debugging-based FPPT search of §III-B over
@@ -92,6 +101,9 @@ func Precimonious(ctx context.Context, eval Evaluator, atoms []transform.Atom, o
 	}
 	log.SetOnAdd(opts.OnAdd)
 	log.SetOnSalvage(opts.OnSalvage)
+	if opts.Metrics != nil {
+		log.SetMetrics(opts.Metrics)
+	}
 	out := &Outcome{Log: log, Converged: true}
 	if len(atoms) == 0 {
 		return out
@@ -125,6 +137,7 @@ func Precimonious(ctx context.Context, eval Evaluator, atoms []transform.Atom, o
 	// runBatch evaluates the candidates' assignments (budget-capped)
 	// and returns per-candidate acceptance. Candidates beyond the
 	// budget are reported as not accepted and flip Converged off.
+	round := 0
 	runBatch := func(cands [][]int) []bool {
 		ok := make([]bool, len(cands))
 		n := len(cands)
@@ -139,11 +152,16 @@ func Precimonious(ctx context.Context, eval Evaluator, atoms []transform.Atom, o
 		// the between-batch gate catches cancellations that arrive while
 		// no evaluation is in flight.
 		checkCancelled(ctx)
+		round++
+		rsp := opts.Span.Child(obs.SpanSearchRound)
+		rsp.AttrInt("round", int64(round))
+		rsp.AttrInt("candidates", int64(n))
+		defer rsp.End()
 		batch := make([]transform.Assignment, n)
 		for i := 0; i < n; i++ {
 			batch[i] = lowerAllBut(cands[i])
 		}
-		evs := batchEval(ctx, log, eval, batch, opts.Parallelism)
+		evs := batchEval(ctx, log, eval, batch, opts.Parallelism, rsp)
 		for i, ev := range evs {
 			ok[i] = opts.Criteria.Accept(ev)
 		}
@@ -253,6 +271,6 @@ func BruteForce(ctx context.Context, eval Evaluator, atoms []transform.Atom, par
 		}
 		batch[v] = a
 	}
-	batchEval(ctx, log, eval, batch, parallelism)
+	batchEval(ctx, log, eval, batch, parallelism, nil)
 	return log, nil
 }

@@ -7,6 +7,7 @@ package search
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/transform"
 )
 
@@ -91,6 +92,26 @@ type Evaluator interface {
 	Evaluate(a transform.Assignment) *Evaluation
 }
 
+// SpanEvaluator is optionally implemented by evaluators that can
+// attribute sub-phases of an evaluation (interpreter runs, retries) to
+// a parent trace span. The span may be nil — implementations must
+// treat it as the no-op span, and the evaluation result must be
+// identical either way (tracing never perturbs outcomes).
+type SpanEvaluator interface {
+	Evaluator
+	EvaluateSpan(sp *obs.Span, a transform.Assignment) *Evaluation
+}
+
+// Evaluate runs one evaluation, threading the parent span through to
+// evaluators that support attribution and falling back to the plain
+// interface for those that do not (e.g. fault-injection wrappers).
+func Evaluate(eval Evaluator, sp *obs.Span, a transform.Assignment) *Evaluation {
+	if se, ok := eval.(SpanEvaluator); ok {
+		return se.EvaluateSpan(sp, a)
+	}
+	return eval.Evaluate(a)
+}
+
 // Criteria decides whether an evaluation "passes" the search: correct
 // within the threshold and at least as fast as required (the paper
 // rejects variants less performant than the baseline).
@@ -140,6 +161,10 @@ type Log struct {
 	onAdd func(ev *Evaluation, replayed bool)
 	// onSalvage observes every salvaged evaluation, in batch order.
 	onSalvage func(ev *Evaluation)
+	// metrics, when set, receives evaluation counters as records land in
+	// the log. Purely observational: it never influences search behavior
+	// or the journal (see SetMetrics).
+	metrics *obs.Registry
 }
 
 // NewLog returns an empty evaluation log.
@@ -181,6 +206,10 @@ func (l *Log) SetOnAdd(fn func(ev *Evaluation, replayed bool)) { l.onAdd = fn }
 // SetOnSalvage installs the salvage observer (nil to remove).
 func (l *Log) SetOnSalvage(fn func(ev *Evaluation)) { l.onSalvage = fn }
 
+// SetMetrics installs a metrics registry (nil to remove). The log bumps
+// evaluation counters and the best-speedup gauge as records are added.
+func (l *Log) SetMetrics(reg *obs.Registry) { l.metrics = reg }
+
 // fromWarm returns the warm-cache record for an assignment, if any.
 func (l *Log) fromWarm(a transform.Assignment) (warmEntry, bool) {
 	ev, ok := l.warm[a.Key()]
@@ -191,6 +220,9 @@ func (l *Log) fromWarm(a transform.Assignment) (warmEntry, bool) {
 // supervised abort earlier in the batch.
 func (l *Log) salvage(ev *Evaluation) {
 	l.Salvaged = append(l.Salvaged, ev)
+	if l.metrics != nil {
+		l.metrics.Counter(obs.MetricSalvaged).Add(1)
+	}
 	if l.onSalvage != nil {
 		l.onSalvage(ev)
 	}
@@ -203,6 +235,13 @@ func (l *Log) add(ev *Evaluation, replayed bool) {
 	ev.Index = len(l.Evals) + 1
 	l.Evals = append(l.Evals, ev)
 	l.cache[ev.Assignment.Key()] = ev
+	if l.metrics != nil {
+		l.metrics.Counter(obs.MetricEvals).Add(1)
+		l.metrics.Counter(obs.MetricEvalsPrefix + ev.Status.String()).Add(1)
+		if ev.Status == StatusPass {
+			l.metrics.Gauge(obs.GaugeBestSpeedup).Max(ev.Speedup)
+		}
+	}
 	if l.onAdd != nil {
 		l.onAdd(ev, replayed)
 	}

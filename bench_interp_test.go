@@ -1,0 +1,131 @@
+// Interpreter shadow-execution benchmarks: the overhead of the float64
+// diagnostic lane (on vs off) and the funarc tune baseline it rides on.
+// TestEmitInterpBench (env-gated) snapshots both into BENCH_interp.json
+// so the perf trajectory is tracked in-repo.
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/models"
+	"repro/internal/numerics"
+	"repro/internal/perfmodel"
+)
+
+// benchInterpRun runs funarc end to end, with or without a shadow
+// recorder attached. The recorder (when on) is rebuilt per iteration —
+// that is how the tuner uses it, one recorder per evaluation.
+func benchInterpRun(b *testing.B, shadow bool) {
+	m := models.Funarc()
+	prog, err := m.Parse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	machine := perfmodel.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := interp.Config{Model: machine, TrapNonFinite: true}
+		if shadow {
+			cfg.Numerics = numerics.NewRecorder(m.Name+".ft", numerics.Options{})
+		}
+		in, err := interp.New(prog, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := in.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpShadowOverhead measures the cost of the shadow lane.
+// The off case is the pre-diagnostics hot path (the nil-recorder test
+// TestShadowDisabledAllocFlat pins it allocation-flat); the on case is
+// what every evaluation pays under tune -numerics.
+func BenchmarkInterpShadowOverhead(b *testing.B) {
+	b.Run("shadow=off", func(b *testing.B) { benchInterpRun(b, false) })
+	b.Run("shadow=on", func(b *testing.B) { benchInterpRun(b, true) })
+}
+
+// BenchmarkTuneFunarcBaseline is the end-to-end funarc search the
+// shadow overhead is judged against: diagnostics cost matters relative
+// to a whole tuning run, not a single interpreter pass.
+func BenchmarkTuneFunarcBaseline(b *testing.B) {
+	m := models.Funarc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := core.New(m, core.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := t.Run(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// interpBenchRow is one benchmark's snapshot in BENCH_interp.json.
+type interpBenchRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// TestEmitInterpBench writes BENCH_interp.json when PROSE_EMIT_BENCH=1
+// (kept out of normal test runs: it re-runs the benchmarks). The file
+// records the shadow on/off interpreter cost and the tune baseline,
+// plus the on/off overhead ratio.
+func TestEmitInterpBench(t *testing.T) {
+	if os.Getenv("PROSE_EMIT_BENCH") == "" {
+		t.Skip("set PROSE_EMIT_BENCH=1 to regenerate BENCH_interp.json")
+	}
+	row := func(name string, fn func(b *testing.B)) interpBenchRow {
+		r := testing.Benchmark(fn)
+		return interpBenchRow{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	off := row("InterpShadowOverhead/shadow=off", func(b *testing.B) { benchInterpRun(b, false) })
+	on := row("InterpShadowOverhead/shadow=on", func(b *testing.B) { benchInterpRun(b, true) })
+	tune := row("TuneFunarcBaseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tn, err := core.New(models.Funarc(), core.Options{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tn.Run(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out := struct {
+		Rows          []interpBenchRow `json:"rows"`
+		ShadowOnOffX  float64          `json:"shadow_on_off_ratio"`
+		GoVersion     string           `json:"go_version,omitempty"`
+		BenchmarkNote string           `json:"note"`
+	}{
+		Rows:         []interpBenchRow{off, on, tune},
+		ShadowOnOffX: on.NsPerOp / off.NsPerOp,
+		BenchmarkNote: "funarc end-to-end interpreter run, shadow recorder rebuilt per iteration; " +
+			"tune baseline is the full seed-1 delta-debugging search",
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_interp.json", append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("shadow on/off ratio: %.2fx (off %.0f ns/op, on %.0f ns/op)", out.ShadowOnOffX, off.NsPerOp, on.NsPerOp)
+}

@@ -10,6 +10,7 @@
 //	prose tune     -model NAME [...]   run the delta-debugging search
 //	prose variant  -model NAME [...]   generate and print one variant
 //	prose reduce   -model NAME -targets a,b  taint-based program reduction
+//	prose profile  [MODEL]             shadow-execution numeric error profile
 //	prose journal  <path>              inspect a journal + events sidecar
 //	prose trace    <path>              analyze a span trace from tune -trace
 package main
@@ -33,10 +34,12 @@ import (
 	"repro/internal/gptl"
 	"repro/internal/journal"
 	"repro/internal/models"
+	"repro/internal/numerics"
 	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/search"
 	"repro/internal/transform"
+	"repro/internal/viz"
 )
 
 // Exit codes. A supervised search that failed fast still prints its
@@ -91,6 +94,8 @@ func main() {
 		err = cmdReduce(os.Args[2:])
 	case "blame":
 		err = cmdBlame(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
 	case "journal":
 		err = cmdJournal(os.Args[2:])
 	case "trace":
@@ -119,6 +124,8 @@ commands:
   variant    apply a precision assignment and print the generated source
   reduce     taint-based program reduction for target variables (paper III-C)
   blame      one-at-a-time precision sensitivity ranking (ADAPT-style)
+  profile    shadow-execution numeric diagnosis: per-statement FP error,
+             cancellation sites, and a one-run atom ranking
   journal    inspect a crash-safe journal and its resilience events sidecar
   trace      analyze a span trace written by tune -trace (critical path, phases)
 
@@ -215,6 +222,7 @@ func cmdTune(args []string) error {
 	tracePath := fs.String("trace", "", "write a span trace to this file (Chrome trace_event JSON; analyze with 'prose trace' or chrome://tracing)")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address for the duration of the run (e.g. localhost:6060)")
 	progressEvery := fs.Duration("progress", 0, "print a live progress heartbeat to stderr at this interval (0 = off)")
+	numericsOn := fs.Bool("numerics", false, "shadow-execute every variant and attach numeric_* diagnostics to spans and metrics (diagnostic only: journal bytes unchanged)")
 	verbose := fs.Bool("v", false, "print each variant as it is evaluated")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -240,11 +248,12 @@ func cmdTune(args []string) error {
 		MaxQuarantined: *maxQuarantined, RetryBackoff: *backoff,
 		RetriesByClass: byClass, Watchdog: *watchdog,
 		HalfOpen: *halfOpen, DrainGrace: *drainGrace,
+		Numerics: *numericsOn,
 	}
 	// Observability is strictly out-of-band: neither the tracer nor the
 	// registry is part of the run fingerprint, and enabling them must
 	// not change a single journal byte (test-enforced).
-	if *tracePath != "" || *debugAddr != "" || *progressEvery > 0 {
+	if *tracePath != "" || *debugAddr != "" || *progressEvery > 0 || *numericsOn {
 		opts.Metrics = obs.NewRegistry()
 	}
 	if *tracePath != "" {
@@ -437,6 +446,68 @@ func cmdBlame(args []string) error {
 		return err
 	}
 	fmt.Print(rep.Render(*limit))
+	return nil
+}
+
+// cmdProfile runs the shadow-execution numeric diagnosis: ONE
+// instrumented run of the (default all-float32) variant with a float64
+// shadow lane, reporting per-statement error introduction, cancellation
+// sites, non-finite provenance, and the one-run atom ranking.
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	name := modelFlag(fs)
+	lower := fs.String("lower", "all", "comma-separated atoms to lower to 32-bit, or 'all'")
+	top := fs.Int("top", 10, "show the top N statements/atoms (0 = all)")
+	cancelBits := fs.Float64("cancel-bits", numerics.DefaultCancelBits,
+		"bits of magnitude collapse that count as a cancellation")
+	format := fs.String("format", "text", "output format: text (human-readable) or json (machine-readable dump)")
+	htmlPath := fs.String("html", "", "also write a per-procedure error heatmap to this HTML file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 1 {
+		*name = fs.Arg(0)
+	}
+	m, err := getModel(*name)
+	if err != nil {
+		return err
+	}
+	sopts := blame.ShadowOptions{Numerics: numerics.Options{CancelBits: *cancelBits}}
+	if *lower != "all" {
+		a := transform.Assignment{}
+		for _, q := range splitList(*lower) {
+			a[q] = 4
+		}
+		sopts.Assignment = a
+	}
+	rep, err := blame.ShadowAnalyze(m, sopts)
+	if err != nil {
+		return err
+	}
+
+	switch *format {
+	case "text":
+		fmt.Print(rep.Profile.Render(*top))
+		fmt.Println()
+		fmt.Print(rep.Render(*top))
+	case "json":
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+	default:
+		return fmt.Errorf("profile: unknown -format %q (want text or json)", *format)
+	}
+
+	if *htmlPath != "" {
+		h := rep.Profile.Heatmap()
+		page := viz.Page(fmt.Sprintf("numeric error heatmap: %s", m.Name), h.HTML())
+		if err := os.WriteFile(*htmlPath, []byte(page), 0o644); err != nil {
+			return fmt.Errorf("profile: writing heatmap: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "heatmap: written to %s\n", *htmlPath)
+	}
 	return nil
 }
 

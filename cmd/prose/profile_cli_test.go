@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/blame"
+)
+
+// TestProfileCLI: prose profile funarc reports the catastrophic
+// cancellation at the arc-length accumulation with a file:line
+// position, and ranks s1 top — the issue's acceptance criteria for the
+// one-run diagnosis.
+func TestProfileCLI(t *testing.T) {
+	var perr error
+	out := captureStdout(t, func() {
+		perr = cmdProfile([]string{"funarc"})
+	})
+	if perr != nil {
+		t.Fatalf("profile funarc: %v", perr)
+	}
+	for _, want := range []string{
+		"catastrophic",         // at least one catastrophic-cancellation site...
+		"funarc.ft:37",         // ...located at the (t2-t1)**2 accumulation
+		"funarc_mod.funarc.s1", // the accumulator tops the atom ranking
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile output missing %q:\n%s", want, out)
+		}
+	}
+	// s1 must be rank 1 in the atom ranking.
+	if !strings.Contains(out, "1. funarc_mod.funarc.s1") {
+		t.Errorf("s1 is not ranked first:\n%s", out)
+	}
+}
+
+// TestProfileJSONCLI: -format json emits a parseable ShadowReport that
+// round-trips, following the journal -format json conventions.
+func TestProfileJSONCLI(t *testing.T) {
+	var perr error
+	out := captureStdout(t, func() {
+		perr = cmdProfile([]string{"-format", "json", "funarc"})
+	})
+	if perr != nil {
+		t.Fatalf("profile -format json: %v", perr)
+	}
+	var rep blame.ShadowReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("output is not a valid ShadowReport: %v\n%s", err, out)
+	}
+	if rep.Model != "funarc" {
+		t.Errorf("model = %q", rep.Model)
+	}
+	if rep.Profile == nil || rep.Profile.Catastrophic < 1 {
+		t.Error("JSON dump carries no catastrophic-cancellation count")
+	}
+	if len(rep.Atoms) != 8 || rep.Atoms[0].QName != "funarc_mod.funarc.s1" {
+		t.Errorf("atom ranking wrong in JSON dump: %v", rep.Atoms)
+	}
+	if err := cmdProfile([]string{"-format", "nope", "funarc"}); err == nil {
+		t.Error("unknown -format accepted")
+	}
+}
+
+// TestProfileHTMLHeatmap: -html writes a standalone page containing the
+// per-procedure heatmap.
+func TestProfileHTMLHeatmap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heat.html")
+	var perr error
+	captureStdout(t, func() {
+		perr = cmdProfile([]string{"-html", path, "funarc"})
+	})
+	if perr != nil {
+		t.Fatalf("profile -html: %v", perr)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(b)
+	for _, want := range []string{"<!DOCTYPE html>", "<table", "funarc_mod.funarc", "37!"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("heatmap page missing %q", want)
+		}
+	}
+}
+
+// TestTuneNumericsJournalIdentical: the CLI-level pin of the
+// out-of-band invariant — tune -numerics writes a journal
+// byte-identical to a plain tune (CI re-checks this with cmp).
+func TestTuneNumericsJournalIdentical(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.jsonl")
+	diag := filepath.Join(dir, "numerics.jsonl")
+	if err := cmdTune([]string{"-model", "funarc", "-journal", plain}); err != nil {
+		t.Fatalf("plain tune: %v", err)
+	}
+	if err := cmdTune([]string{"-model", "funarc", "-journal", diag, "-numerics"}); err != nil {
+		t.Fatalf("tune -numerics: %v", err)
+	}
+	pb, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pb) != string(db) {
+		t.Errorf("tune -numerics journal differs from plain tune journal (%d vs %d bytes)",
+			len(db), len(pb))
+	}
+}

@@ -65,13 +65,21 @@ func Analyze(m *models.Model, opts core.Options) (*Report, error) {
 		}
 		rep.Atoms = append(rep.Atoms, ar)
 	}
-	sort.SliceStable(rep.Atoms, func(i, j int) bool {
-		if rep.Atoms[i].Blame != rep.Atoms[j].Blame {
-			return rep.Atoms[i].Blame > rep.Atoms[j].Blame
-		}
-		return rep.Atoms[i].QName < rep.Atoms[j].QName
-	})
+	rankAtoms(rep.Atoms)
 	return rep, nil
+}
+
+// rankAtoms orders a sensitivity ranking deterministically: descending
+// blame, with exact ties broken by ascending QName so equal-blame atoms
+// (common when several atoms are individually harmless and score 0)
+// never depend on evaluation order.
+func rankAtoms(atoms []AtomReport) {
+	sort.SliceStable(atoms, func(i, j int) bool {
+		if atoms[i].Blame != atoms[j].Blame {
+			return atoms[i].Blame > atoms[j].Blame
+		}
+		return atoms[i].QName < atoms[j].QName
+	})
 }
 
 // Top returns the n most blamed atoms' names.

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/obs"
+)
+
+// TestNumericsDoesNotPerturbJournal is the shadow-execution acceptance
+// test: a tune run with Options.Numerics on writes an evaluation
+// journal BYTE-IDENTICAL to a plain run, at parallelism 1 and 8. The
+// shadow lane is strictly diagnostic — it is not fingerprinted and
+// must never change a primary result, a cost, or a journal byte.
+func TestNumericsDoesNotPerturbJournal(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.jsonl")
+	if _, err, fault := runJournaled(t, Options{Seed: 1, JournalPath: refPath}); err != nil || fault != nil {
+		t.Fatalf("reference run: err=%v fault=%v", err, fault)
+	}
+	refBytes, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, par := range []int{1, 8} {
+		numPath := filepath.Join(dir, "numerics_par"+string(rune('0'+par))+".jsonl")
+		reg := obs.NewRegistry()
+		if _, err, fault := runJournaled(t, Options{
+			Seed: 1, JournalPath: numPath, Parallelism: par,
+			Numerics: true, Metrics: reg,
+		}); err != nil || fault != nil {
+			t.Fatalf("par-%d numerics run: err=%v fault=%v", par, err, fault)
+		}
+		numBytes, err := os.ReadFile(numPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(numBytes) != string(refBytes) {
+			t.Errorf("par-%d numerics journal differs from plain journal (%d vs %d bytes)",
+				par, len(numBytes), len(refBytes))
+		}
+		snap := reg.Snapshot()
+		if snap.Counters[obs.MetricNumericOps] == 0 {
+			t.Errorf("par-%d run recorded no shadow-checked ops — the test is vacuous", par)
+		}
+	}
+}
+
+// TestNumericsSpanAttributes checks the diagnosis reaches the trace:
+// with Numerics and tracing both on, every interp.run span carries the
+// numeric_* attributes, and funarc's all-float32 variants surface
+// catastrophic cancellation.
+func TestNumericsSpanAttributes(t *testing.T) {
+	tracer := obs.NewTracer("model=funarc seed=1")
+	if _, err, fault := runJournaled(t, Options{
+		Seed: 1, Numerics: true, Trace: tracer, Metrics: obs.NewRegistry(),
+	}); err != nil || fault != nil {
+		t.Fatalf("run: err=%v fault=%v", err, fault)
+	}
+	runs, withOps, withCatastrophic := 0, 0, 0
+	for _, r := range tracer.Records() {
+		if r.Name != obs.SpanInterpRun {
+			continue
+		}
+		runs++
+		if ops := r.Attr("numeric_ops"); ops != "" && ops != "0" {
+			withOps++
+		}
+		if cat := r.Attr("numeric_catastrophic"); cat != "" && cat != "0" {
+			withCatastrophic++
+		}
+	}
+	if runs == 0 {
+		t.Fatal("no interp.run spans recorded")
+	}
+	if withOps != runs {
+		t.Errorf("%d/%d interp.run spans carry a nonzero numeric_ops attribute", withOps, runs)
+	}
+	if withCatastrophic == 0 {
+		t.Error("no interp.run span observed catastrophic cancellation on funarc")
+	}
+}
+
+// TestNumericsNotFingerprinted pins Numerics out of the resume
+// fingerprint: a journal written plain must be resumable by a run with
+// diagnostics on (and vice versa), exactly like Trace/Metrics.
+func TestNumericsNotFingerprinted(t *testing.T) {
+	m := models.Funarc()
+	plain, err := New(m, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := New(m, Options{Seed: 1, Numerics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Fingerprint() != diag.Fingerprint() {
+		t.Errorf("Numerics changed the journal fingerprint:\n  plain: %s\n  diag:  %s",
+			plain.Fingerprint(), diag.Fingerprint())
+	}
+	if plain.Fingerprint() == "" {
+		t.Error("fingerprint is empty")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/journal"
 	"repro/internal/models"
+	"repro/internal/numerics"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/resilience"
@@ -135,6 +136,15 @@ type Options struct {
 	// by TestTracingDoesNotPerturbJournal).
 	Trace   *obs.Tracer
 	Metrics *obs.Registry
+
+	// Numerics attaches a shadow-execution recorder to every
+	// interpreter run: each evaluation's eval span gains numeric_*
+	// attributes (FP error, cancellations, non-finite provenance) and
+	// Metrics gains the numeric_* counters. Like Trace/Metrics it is
+	// strictly observational — not fingerprinted, and it may not
+	// perturb the evaluation stream or the journal bytes
+	// (test-enforced by TestNumericsDoesNotPerturbJournal).
+	Numerics bool
 }
 
 // supervising reports whether any resilience knob enables the
@@ -463,12 +473,17 @@ func (t *Tuner) EvaluateSpan(sp *obs.Span, a transform.Assignment) *search.Evalu
 		return ev
 	}
 
+	var nrec *numerics.Recorder
+	if t.opts.Numerics {
+		nrec = numerics.NewRecorder(t.model.Name+".ft", numerics.Options{})
+	}
 	in, err := interp.New(v.Prog, interp.Config{
 		Model:         t.machine,
 		TrapNonFinite: true,
 		Profile:       true,
 		CycleBudget:   3 * t.baseline.TotalCycles, // §IV-A: 3x baseline timeout
 		Context:       t.runCtx,                   // hard cancellation after the drain grace
+		Numerics:      nrec,                       // nil unless Options.Numerics
 	})
 	if err != nil {
 		ev.Status = search.StatusError
@@ -485,11 +500,31 @@ func (t *Tuner) EvaluateSpan(sp *obs.Span, a transform.Assignment) *search.Evalu
 	if runErr != nil {
 		isp.Attr("error", runErr.Error())
 	}
+	prof := nrec.Profile() // nil recorder -> nil profile
+	if prof != nil {
+		isp.AttrInt("numeric_ops", prof.Ops)
+		isp.AttrInt("numeric_cancellations", prof.Cancellations)
+		isp.AttrInt("numeric_catastrophic", prof.Catastrophic)
+		isp.AttrFloat("numeric_max_divergence", prof.MaxDivergence)
+		if nf := prof.FirstNonFinite; nf != nil {
+			isp.Attr("numeric_first_nonfinite",
+				fmt.Sprintf("%s:%d in %s (op %s)", prof.File, nf.Line, nf.Proc, nf.Op))
+		}
+	}
 	isp.End()
 	if m := t.opts.Metrics; m != nil {
 		m.Counter(obs.MetricInterpRuns).Add(1)
 		if res != nil {
 			m.Counter(obs.MetricInterpSteps).Add(res.Steps)
+		}
+		if prof != nil {
+			m.Counter(obs.MetricNumericOps).Add(prof.Ops)
+			m.Counter(obs.MetricNumericCancellations).Add(prof.Cancellations)
+			m.Counter(obs.MetricNumericCatastrophic).Add(prof.Catastrophic)
+			m.Counter(obs.MetricNumericBranchDiverg).Add(prof.BranchDivergences)
+			m.Counter(obs.MetricNumericDiscretizations).Add(prof.Discretizations)
+			m.Counter(obs.MetricNumericNonFinite).Add(prof.NonFinite)
+			m.Histogram(obs.HistNumericDivergence).Observe(prof.MaxDivergence)
 		}
 	}
 	if runErr != nil {

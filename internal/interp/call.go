@@ -33,6 +33,9 @@ func (i *Interp) storeLvalue(lv lvalue, v Value, pos ft.Pos) error {
 			Msg: "non-finite value returned into array element"}
 	}
 	lv.arr.Data[lv.off] = f
+	if lv.arr.Shadow != nil {
+		lv.arr.Shadow[lv.off] = v.sh()
+	}
 	return nil
 }
 
@@ -223,7 +226,8 @@ func (i *Interp) evalArgArray(fr *frame, argExpr ft.Expr, dummy *ft.VarDecl, pos
 				ones[k] = 1
 			}
 			av = Value{Base: av.Base, Kind: av.Kind, Arr: &Array{
-				Kind: av.Arr.Kind, Lo: ones, Ext: av.Arr.Ext, Data: av.Arr.Data,
+				Kind: av.Arr.Kind, Lo: ones, Ext: av.Arr.Ext,
+				Data: av.Arr.Data, Shadow: av.Arr.Shadow,
 			}}
 		}
 		return av, nil

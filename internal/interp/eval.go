@@ -81,7 +81,11 @@ func (i *Interp) loadElement(fr *frame, e *ft.IndexExpr) (Value, int, error) {
 		return Value{}, 0, err
 	}
 	i.op(perfmodel.OpLoad, arr.Kind)
-	return Value{Base: ft.TReal, Kind: arr.Kind, F: arr.Data[off]}, off, nil
+	v := Value{Base: ft.TReal, Kind: arr.Kind, F: arr.Data[off], Sh: arr.Data[off]}
+	if arr.Shadow != nil {
+		v.Sh = arr.Shadow[off]
+	}
+	return v, off, nil
 }
 
 // elementRef resolves an array element reference to (array, offset).
@@ -121,7 +125,11 @@ func (i *Interp) evalUnary(fr *frame, e *ft.UnExpr) (Value, error) {
 			return intValue(-x.I), nil
 		}
 		i.op(perfmodel.OpAddSub, x.Kind)
-		return realValue(-x.F, x.Kind), nil
+		v := realValue(-x.F, x.Kind)
+		if i.nrec != nil {
+			v.Sh = -x.sh()
+		}
+		return v, nil
 	case ft.PLUS:
 		return x, nil
 	case ft.NOT:
@@ -175,10 +183,16 @@ func (i *Interp) evalBinary(fr *frame, e *ft.BinExpr) (Value, error) {
 		i.chargeOperandCast(e.Y, yt, k)
 		i.op(perfmodel.OpCmp, k)
 		xf, yf := convertReal(x.asFloat(), k), convertReal(y.asFloat(), k)
+		var b bool
 		if k == 4 {
-			return logicalValue(f32Compare(e.Op, float32(xf), float32(yf))), nil
+			b = f32Compare(e.Op, float32(xf), float32(yf))
+		} else {
+			b = f64Compare(e.Op, xf, yf)
 		}
-		return logicalValue(f64Compare(e.Op, xf, yf)), nil
+		if i.nrec != nil && b != f64Compare(e.Op, x.sh(), y.sh()) {
+			i.nrec.Branch(i.procName(), e.Pos.Line)
+		}
+		return logicalValue(b), nil
 	}
 
 	// Arithmetic.
@@ -191,24 +205,30 @@ func (i *Interp) evalBinary(fr *frame, e *ft.BinExpr) (Value, error) {
 	i.chargeOperandCast(e.Y, yt, k)
 	xf, yf := convertReal(x.asFloat(), k), convertReal(y.asFloat(), k)
 	var r float64
+	var opByte byte
 	switch e.Op {
 	case ft.PLUS:
+		opByte = '+'
 		i.op(perfmodel.OpAddSub, k)
 		r = arith(k, xf, yf, func(a, b float64) float64 { return a + b },
 			func(a, b float32) float32 { return a + b })
 	case ft.MINUS:
+		opByte = '-'
 		i.op(perfmodel.OpAddSub, k)
 		r = arith(k, xf, yf, func(a, b float64) float64 { return a - b },
 			func(a, b float32) float32 { return a - b })
 	case ft.STAR:
+		opByte = '*'
 		i.op(perfmodel.OpMul, k)
 		r = arith(k, xf, yf, func(a, b float64) float64 { return a * b },
 			func(a, b float32) float32 { return a * b })
 	case ft.SLASH:
+		opByte = '/'
 		i.op(perfmodel.OpDiv, k)
 		r = arith(k, xf, yf, func(a, b float64) float64 { return a / b },
 			func(a, b float32) float32 { return a / b })
 	case ft.POW:
+		opByte = '^'
 		// x**n with a small constant integer exponent lowers to
 		// multiplies; anything else is a pow call.
 		if lit, ok := e.Y.(*ft.IntLit); ok && lit.Val >= 0 && lit.Val <= 4 {
@@ -226,7 +246,36 @@ func (i *Interp) evalBinary(fr *frame, e *ft.BinExpr) (Value, error) {
 		return Value{}, &RunError{Pos: e.Pos, Kind: FailInternal,
 			Msg: fmt.Sprintf("unknown binary op %v", e.Op)}
 	}
-	return Value{Base: ft.TReal, Kind: k, F: r}, nil
+	v := Value{Base: ft.TReal, Kind: k, F: r, Sh: r}
+	if i.nrec != nil {
+		xs, ys := x.sh(), y.sh()
+		yp := yf
+		if e.Op == ft.POW && yt.Base == ft.TInteger {
+			// The integer-exponent path bypasses yf.
+			yp = float64(y.I)
+		}
+		exact := binOp64(opByte, xf, yp)
+		v.Sh = binOp64(opByte, xs, ys)
+		i.nrec.Op(i.procName(), e.Pos.Line, opByte, xf, yp, xs, ys, r, exact, v.Sh)
+	}
+	return v, nil
+}
+
+// binOp64 is the float64 evaluation of a binary arithmetic op, the
+// reference lane for shadow execution.
+func binOp64(op byte, a, b float64) float64 {
+	switch op {
+	case '+':
+		return a + b
+	case '-':
+		return a - b
+	case '*':
+		return a * b
+	case '/':
+		return a / b
+	default: // '^'
+		return math.Pow(a, b)
+	}
 }
 
 // arith performs a binary arithmetic operation at the requested kind:
@@ -340,6 +389,12 @@ func (i *Interp) execAssign(fr *frame, s *ft.AssignStmt) error {
 		return i.execArrayAssign(fr, s)
 	}
 
+	if i.nrec != nil {
+		// Error born while evaluating the RHS is attributed to the
+		// target atom (empty for non-real targets).
+		i.nrec.PushTarget(assignAtom(s.LHS, lt))
+		defer i.nrec.PopTarget()
+	}
 	rhs, err := i.evalExpr(fr, s.RHS)
 	if err != nil {
 		return err
@@ -360,6 +415,10 @@ func (i *Interp) execAssign(fr *frame, s *ft.AssignStmt) error {
 	switch lhs := s.LHS.(type) {
 	case *ft.VarRef:
 		v := convertScalar(rhs, lt)
+		if i.nrec != nil && v.Base == ft.TReal {
+			i.nrec.Assign(i.procName(), s.Pos.Line, assignAtom(s.LHS, lt),
+				v.F, v.Sh, rhs.asFloat())
+		}
 		if i.cfg.TrapNonFinite && v.Base == ft.TReal && nonFinite(v.F) {
 			return &RunError{Pos: s.Pos, Kind: FailNonFinite,
 				Msg: fmt.Sprintf("assigning non-finite value to %s", lhs.Name)}
@@ -373,15 +432,42 @@ func (i *Interp) execAssign(fr *frame, s *ft.AssignStmt) error {
 		}
 		i.op(perfmodel.OpStore, arr.Kind)
 		f := convertReal(rhs.asFloat(), arr.Kind)
+		if i.nrec != nil {
+			i.nrec.Assign(i.procName(), s.Pos.Line, assignAtom(s.LHS, lt),
+				f, rhs.sh(), rhs.asFloat())
+		}
 		if i.cfg.TrapNonFinite && nonFinite(f) {
 			return &RunError{Pos: s.Pos, Kind: FailNonFinite,
 				Msg: fmt.Sprintf("assigning non-finite value to %s(...)", lhs.Arr.Name)}
 		}
 		arr.Data[off] = f
+		if arr.Shadow != nil {
+			arr.Shadow[off] = rhs.sh()
+		}
 		return nil
 	default:
 		return &RunError{Pos: s.Pos, Kind: FailInternal, Msg: "bad assignment target"}
 	}
+}
+
+// assignAtom is the search-atom qualified name of an assignment target:
+// the declaration behind a real variable or array-element LHS ("" for
+// integer/logical targets, which are not atoms).
+func assignAtom(lhs ft.Expr, lt ft.Type) string {
+	if lt.Base != ft.TReal {
+		return ""
+	}
+	switch lhs := lhs.(type) {
+	case *ft.VarRef:
+		if lhs.Decl != nil {
+			return lhs.Decl.QName()
+		}
+	case *ft.IndexExpr:
+		if lhs.Arr != nil && lhs.Arr.Decl != nil {
+			return lhs.Arr.Decl.QName()
+		}
+	}
+	return ""
 }
 
 // execArrayAssign handles "a = b" (copy) and "a = scalar" (fill).
@@ -401,6 +487,11 @@ func (i *Interp) execArrayAssign(fr *frame, s *ft.AssignStmt) error {
 	dst := dstV.Arr
 	n := dst.Size()
 
+	if i.nrec != nil {
+		i.nrec.PushTarget(lref.Decl.QName())
+		defer i.nrec.PopTarget()
+	}
+
 	rt := s.RHS.Type()
 	if rt.Rank == 0 {
 		// Broadcast fill.
@@ -409,6 +500,11 @@ func (i *Interp) execArrayAssign(fr *frame, s *ft.AssignStmt) error {
 			return err
 		}
 		f := convertReal(v.asFloat(), dst.Kind)
+		if i.nrec != nil {
+			// One representative record for the whole fill.
+			i.nrec.Assign(i.procName(), s.Pos.Line, lref.Decl.QName(),
+				f, v.sh(), v.asFloat())
+		}
 		if i.cfg.TrapNonFinite && nonFinite(f) {
 			return &RunError{Pos: s.Pos, Kind: FailNonFinite,
 				Msg: fmt.Sprintf("assigning non-finite value to %s", lref.Name)}
@@ -416,6 +512,12 @@ func (i *Interp) execArrayAssign(fr *frame, s *ft.AssignStmt) error {
 		i.opN(perfmodel.OpStore, dst.Kind, float64(n), i.model.VecFactor(dst.Kind, false, false))
 		for k := range dst.Data {
 			dst.Data[k] = f
+		}
+		if dst.Shadow != nil {
+			fs := v.sh()
+			for k := range dst.Shadow {
+				dst.Shadow[k] = fs
+			}
 		}
 		return nil
 	}
@@ -454,6 +556,14 @@ func (i *Interp) execArrayAssign(fr *frame, s *ft.AssignStmt) error {
 					Msg: fmt.Sprintf("assigning non-finite value to %s", lref.Name)}
 			}
 			dst.Data[k] = f
+		}
+	}
+	if dst.Shadow != nil {
+		// The shadow lane copies unrounded in either direction.
+		if src.Shadow != nil {
+			copy(dst.Shadow, src.Shadow)
+		} else {
+			copy(dst.Shadow, src.Data)
 		}
 	}
 	return nil

@@ -7,6 +7,7 @@ import (
 
 	ft "repro/internal/fortran"
 	"repro/internal/gptl"
+	"repro/internal/numerics"
 	"repro/internal/perfmodel"
 )
 
@@ -84,6 +85,13 @@ type Config struct {
 	Profile bool
 	// MaxDepth bounds the call stack (default 1000).
 	MaxDepth int
+	// Numerics, if non-nil, enables shadow execution: every real value
+	// carries a float64 shadow computed at full precision and the
+	// recorder aggregates per-statement/per-atom divergence. Strictly
+	// diagnostic: it never changes primary-lane results, costs, or
+	// failure behaviour (test-enforced), and nil keeps the hot path
+	// allocation-free.
+	Numerics *numerics.Recorder
 }
 
 // Result summarizes a completed run.
@@ -133,6 +141,7 @@ type Interp struct {
 	castCycles float64
 	procCasts  map[string]float64
 	curProc    []string // procedure name stack for cast attribution
+	nrec       *numerics.Recorder
 
 	// steps counts checkBudget calls — approximately statements
 	// executed. It feeds Result.Steps and paces the (comparatively
@@ -172,6 +181,7 @@ func New(prog *ft.Program, cfg Config) (*Interp, error) {
 		stdout:    cfg.Stdout,
 		vecFactor: 1.0,
 		procCasts: make(map[string]float64),
+		nrec:      cfg.Numerics,
 	}
 	if cfg.Profile {
 		// Timer overhead is charged in invoke() for non-inlined calls
@@ -292,7 +302,11 @@ func (i *Interp) initDecl(fr *frame, d *ft.VarDecl) (Value, error) {
 			return Value{}, &RunError{Pos: d.Pos, Kind: FailInternal,
 				Msg: fmt.Sprintf("array %q: only real arrays are supported", d.Name)}
 		}
-		return Value{Base: ft.TReal, Kind: d.Kind, Arr: NewArray(d.Kind, lo, ext)}, nil
+		arr := NewArray(d.Kind, lo, ext)
+		if i.nrec != nil {
+			arr.Shadow = make([]float64, len(arr.Data))
+		}
+		return Value{Base: ft.TReal, Kind: d.Kind, Arr: arr}, nil
 	}
 	var v Value
 	switch d.Base {
@@ -314,11 +328,15 @@ func (i *Interp) initDecl(fr *frame, d *ft.VarDecl) (Value, error) {
 }
 
 // convertScalar coerces a scalar value to the declared type (no cost
-// accounting; cost is charged at the operation that required it).
+// accounting; cost is charged at the operation that required it). The
+// shadow lane passes through unrounded: conversion narrows the primary
+// only (the field copy is free, so this is not recorder-gated).
 func convertScalar(v Value, t ft.Type) Value {
 	switch t.Base {
 	case ft.TReal:
-		return realValue(v.asFloat(), t.Kind)
+		nv := realValue(v.asFloat(), t.Kind)
+		nv.Sh = v.sh()
+		return nv
 	case ft.TInteger:
 		return intValue(v.asInt())
 	case ft.TLogical:
@@ -543,6 +561,15 @@ func (i *Interp) execDoWhile(fr *frame, s *ft.DoWhileStmt) (control, error) {
 			return ctlReturn, nil
 		}
 	}
+}
+
+// procName is the procedure currently executing, for numerics
+// attribution (the main program reports as "main").
+func (i *Interp) procName() string {
+	if n := len(i.curProc); n > 0 {
+		return i.curProc[n-1]
+	}
+	return "main"
 }
 
 // storeScalar writes a scalar slot (local or module).

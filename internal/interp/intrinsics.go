@@ -68,7 +68,13 @@ func (i *Interp) evalIntrinsic(fr *frame, e *ft.CallExpr) (Value, error) {
 
 	un := func(cls perfmodel.OpClass, f func(float64) float64) (Value, error) {
 		i.op(cls, kind)
-		return realValue(f(args[0].asFloat()), kind), nil
+		x := args[0].asFloat()
+		v := realValue(f(x), kind)
+		if i.nrec != nil {
+			v.Sh = f(args[0].sh())
+			i.nrec.Intrinsic(i.procName(), e.Pos.Line, name, x, v.F, f(x), v.Sh)
+		}
+		return v, nil
 	}
 
 	switch name {
@@ -114,7 +120,13 @@ func (i *Interp) evalIntrinsic(fr *frame, e *ft.CallExpr) (Value, error) {
 		return un(perfmodel.OpSimple, math.Round)
 	case "atan2":
 		i.op(perfmodel.OpTrans, kind)
-		return realValue(math.Atan2(args[0].asFloat(), args[1].asFloat()), kind), nil
+		xf := math.Atan2(args[0].asFloat(), args[1].asFloat())
+		v := realValue(xf, kind)
+		if i.nrec != nil {
+			v.Sh = math.Atan2(args[0].sh(), args[1].sh())
+			i.nrec.Intrinsic(i.procName(), e.Pos.Line, name, args[0].asFloat(), v.F, xf, v.Sh)
+		}
+		return v, nil
 	case "sign":
 		i.op(perfmodel.OpSimple, kind)
 		if e.Typ.Base == ft.TInteger {
@@ -131,7 +143,18 @@ func (i *Interp) evalIntrinsic(fr *frame, e *ft.CallExpr) (Value, error) {
 		if math.Signbit(args[1].asFloat()) {
 			m = -m
 		}
-		return realValue(m, kind), nil
+		v := realValue(m, kind)
+		if i.nrec != nil {
+			// The shadow magnitude follows the primary lane's sign
+			// decision; a lane disagreement on the sign argument shows
+			// up as divergence downstream.
+			ms := math.Abs(args[0].sh())
+			if math.Signbit(args[1].asFloat()) {
+				ms = -ms
+			}
+			v.Sh = ms
+		}
+		return v, nil
 	case "mod":
 		if e.Typ.Base == ft.TInteger {
 			i.op(perfmodel.OpIntALU, 4)
@@ -141,7 +164,13 @@ func (i *Interp) evalIntrinsic(fr *frame, e *ft.CallExpr) (Value, error) {
 			return intValue(args[0].I % args[1].I), nil
 		}
 		i.op(perfmodel.OpDiv, kind)
-		return realValue(math.Mod(args[0].asFloat(), args[1].asFloat()), kind), nil
+		mf := math.Mod(args[0].asFloat(), args[1].asFloat())
+		v := realValue(mf, kind)
+		if i.nrec != nil {
+			v.Sh = math.Mod(args[0].sh(), args[1].sh())
+			i.nrec.Intrinsic(i.procName(), e.Pos.Line, name, args[0].asFloat(), v.F, mf, v.Sh)
+		}
+		return v, nil
 	case "min", "max":
 		i.opN(perfmodel.OpSimple, kind, float64(len(args)-1), i.vecFactor)
 		if e.Typ.Base == ft.TInteger {
@@ -162,16 +191,40 @@ func (i *Interp) evalIntrinsic(fr *frame, e *ft.CallExpr) (Value, error) {
 				best = math.Max(best, f)
 			}
 		}
-		return realValue(best, kind), nil
+		v := realValue(best, kind)
+		if i.nrec != nil {
+			sh := args[0].sh()
+			for _, a := range args[1:] {
+				if name == "min" {
+					sh = math.Min(sh, a.sh())
+				} else {
+					sh = math.Max(sh, a.sh())
+				}
+			}
+			v.Sh = sh
+		}
+		return v, nil
 	case "int":
 		i.op(perfmodel.OpConv, 4)
-		return intValue(int64(math.Trunc(args[0].asFloat()))), nil
+		p := int64(math.Trunc(args[0].asFloat()))
+		if i.nrec != nil {
+			i.nrec.Discretize(i.procName(), e.Pos.Line, name, p, int64(math.Trunc(args[0].sh())))
+		}
+		return intValue(p), nil
 	case "nint":
 		i.op(perfmodel.OpConv, 4)
-		return intValue(int64(math.Round(args[0].asFloat()))), nil
+		p := int64(math.Round(args[0].asFloat()))
+		if i.nrec != nil {
+			i.nrec.Discretize(i.procName(), e.Pos.Line, name, p, int64(math.Round(args[0].sh())))
+		}
+		return intValue(p), nil
 	case "floor":
 		i.op(perfmodel.OpConv, 4)
-		return intValue(int64(math.Floor(args[0].asFloat()))), nil
+		p := int64(math.Floor(args[0].asFloat()))
+		if i.nrec != nil {
+			i.nrec.Discretize(i.procName(), e.Pos.Line, name, p, int64(math.Floor(args[0].sh())))
+		}
+		return intValue(p), nil
 	case "real", "dble":
 		// Explicit conversions are real work unless the operand is a
 		// literal or already of the target kind.
@@ -183,7 +236,9 @@ func (i *Interp) evalIntrinsic(fr *frame, e *ft.CallExpr) (Value, error) {
 		case at.Kind != kind:
 			i.cast(1)
 		}
-		return realValue(args[0].asFloat(), kind), nil
+		v := realValue(args[0].asFloat(), kind)
+		v.Sh = args[0].sh()
+		return v, nil
 	case "epsilon":
 		if kind == 4 {
 			return realValue(float64(nextAfter32(1)), 4), nil
@@ -254,26 +309,69 @@ func (i *Interp) reduceArray(name string, arr *Array, e *ft.CallExpr) (Value, er
 			for _, v := range arr.Data {
 				s += float32(v)
 			}
-			return realValue(float64(s), 4), nil
+			v := realValue(float64(s), 4)
+			if i.nrec != nil {
+				var exact float64
+				for _, d := range arr.Data {
+					exact += d
+				}
+				v.Sh = shadowSum(arr, exact)
+				i.nrec.Intrinsic(i.procName(), e.Pos.Line, name, exact, v.F, exact, v.Sh)
+			}
+			return v, nil
 		}
 		var s float64
 		for _, v := range arr.Data {
 			s += v
 		}
-		return realValue(s, 8), nil
+		v := realValue(s, 8)
+		if i.nrec != nil {
+			v.Sh = shadowSum(arr, s)
+			i.nrec.Intrinsic(i.procName(), e.Pos.Line, name, s, s, s, v.Sh)
+		}
+		return v, nil
 	case "minval":
 		best := arr.Data[0]
 		for _, v := range arr.Data[1:] {
 			best = math.Min(best, v)
 		}
-		return realValue(best, arr.Kind), nil
+		v := realValue(best, arr.Kind)
+		if i.nrec != nil && arr.Shadow != nil {
+			sh := arr.Shadow[0]
+			for _, d := range arr.Shadow[1:] {
+				sh = math.Min(sh, d)
+			}
+			v.Sh = sh
+		}
+		return v, nil
 	default: // maxval
 		best := arr.Data[0]
 		for _, v := range arr.Data[1:] {
 			best = math.Max(best, v)
 		}
-		return realValue(best, arr.Kind), nil
+		v := realValue(best, arr.Kind)
+		if i.nrec != nil && arr.Shadow != nil {
+			sh := arr.Shadow[0]
+			for _, d := range arr.Shadow[1:] {
+				sh = math.Max(sh, d)
+			}
+			v.Sh = sh
+		}
+		return v, nil
 	}
+}
+
+// shadowSum is the shadow-lane reduction of an array: the float64 sum
+// over Shadow when present, else the given full-precision sum of Data.
+func shadowSum(arr *Array, dataSum float64) float64 {
+	if arr.Shadow == nil {
+		return dataSum
+	}
+	var s float64
+	for _, d := range arr.Shadow {
+		s += d
+	}
+	return s
 }
 
 // dotProduct implements dot_product with mixed-kind pricing: same-kind
@@ -302,11 +400,45 @@ func (i *Interp) dotProduct(a, b *Array, e *ft.CallExpr) (Value, error) {
 		for k := 0; k < n; k++ {
 			s += float32(a.Data[k]) * float32(b.Data[k])
 		}
-		return realValue(float64(s), 4), nil
+		v := realValue(float64(s), 4)
+		if i.nrec != nil {
+			var exact float64
+			for k := 0; k < n; k++ {
+				exact += a.Data[k] * b.Data[k]
+			}
+			v.Sh = shadowDot(a, b, exact)
+			i.nrec.Intrinsic(i.procName(), e.Pos.Line, "dot_product", exact, v.F, exact, v.Sh)
+		}
+		return v, nil
 	}
 	var s float64
 	for k := 0; k < n; k++ {
 		s += a.Data[k] * b.Data[k]
 	}
-	return realValue(s, 8), nil
+	v := realValue(s, 8)
+	if i.nrec != nil {
+		v.Sh = shadowDot(a, b, s)
+		i.nrec.Intrinsic(i.procName(), e.Pos.Line, "dot_product", s, s, s, v.Sh)
+	}
+	return v, nil
+}
+
+// shadowDot is the shadow-lane dot product, falling back per-operand to
+// the primary data when a side has no shadow storage.
+func shadowDot(a, b *Array, dataDot float64) float64 {
+	if a.Shadow == nil && b.Shadow == nil {
+		return dataDot
+	}
+	as, bs := a.Shadow, b.Shadow
+	if as == nil {
+		as = a.Data
+	}
+	if bs == nil {
+		bs = b.Data
+	}
+	var s float64
+	for k := 0; k < len(as) && k < len(bs); k++ {
+		s += as[k] * bs[k]
+	}
+	return s
 }

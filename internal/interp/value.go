@@ -24,10 +24,16 @@ import (
 )
 
 // Value is a runtime value: a scalar or a reference to an array.
+// Sh is the float64 shadow lane: the value this computation would have
+// produced at full precision. It is only maintained when a numerics
+// recorder is attached (Config.Numerics); uninstrumented runs leave it
+// tracking F with no extra work (realValue sets Sh from the pre-rounded
+// input, a free field copy).
 type Value struct {
 	Base ft.BaseType
 	Kind int // real kind (4 or 8)
 	F    float64
+	Sh   float64
 	I    int64
 	B    bool
 	S    string
@@ -43,6 +49,9 @@ type Array struct {
 	Lo   []int // lower bound per dimension
 	Ext  []int // extent per dimension
 	Data []float64
+	// Shadow is the float64 shadow lane, allocated only when a numerics
+	// recorder is attached; reshaped headers share it with Data.
+	Shadow []float64
 }
 
 // NewArray allocates a zeroed array.
@@ -100,8 +109,10 @@ func convertReal(v float64, kind int) float64 {
 func intValue(i int64) Value { return Value{Base: ft.TInteger, I: i} }
 
 // realValue builds a real Value of the given kind, rounding as needed.
+// The shadow lane defaults to the pre-rounding input; instrumented
+// paths that know a better full-precision history overwrite it.
 func realValue(f float64, kind int) Value {
-	return Value{Base: ft.TReal, Kind: kind, F: convertReal(f, kind)}
+	return Value{Base: ft.TReal, Kind: kind, F: convertReal(f, kind), Sh: f}
 }
 
 // logicalValue builds a logical Value.
@@ -113,6 +124,15 @@ func (v Value) asFloat() float64 {
 		return float64(v.I)
 	}
 	return v.F
+}
+
+// sh returns the shadow-lane value of v: integers are exact, reals
+// carry their float64 shadow.
+func (v Value) sh() float64 {
+	if v.Base == ft.TInteger {
+		return float64(v.I)
+	}
+	return v.Sh
 }
 
 // asInt returns the numeric value of v truncated to an integer.

@@ -1,0 +1,49 @@
+package numerics
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/viz"
+)
+
+// Heatmap lays the profile out as a per-procedure error heatmap: one
+// row per procedure, one cell per statement (in line order) colored by
+// the statement's error score. Catastrophic-cancellation sites are
+// flagged in the cell label.
+func (p *Profile) Heatmap() *viz.Heatmap {
+	byProc := make(map[string][]StmtProfile)
+	for _, s := range p.Statements {
+		byProc[s.Proc] = append(byProc[s.Proc], s)
+	}
+	procs := make([]string, 0, len(byProc))
+	for proc := range byProc {
+		procs = append(procs, proc)
+	}
+	sort.Strings(procs)
+
+	h := &viz.Heatmap{
+		Title:  "numeric error by statement — " + p.File,
+		Legend: "cell = one statement (line number); color = log-scaled error score (local rounding sum + max divergence vs float64 shadow); ! = catastrophic cancellation site",
+	}
+	for _, proc := range procs {
+		stmts := byProc[proc]
+		sort.Slice(stmts, func(i, j int) bool { return stmts[i].Line < stmts[j].Line })
+		row := viz.HeatRow{Name: proc}
+		for i := range stmts {
+			s := &stmts[i]
+			label := fmt.Sprintf("%d", s.Line)
+			if s.Catastrophic > 0 {
+				label += "!"
+			}
+			row.Cells = append(row.Cells, viz.HeatCell{
+				Label: label,
+				Title: fmt.Sprintf("%s · ops %d · round sum %.3e · max divergence %.3e · cancellations %d (catastrophic %d)",
+					s.Where(p.File), s.Ops, s.RoundErrSum, s.MaxDivergence, s.Cancellations, s.Catastrophic),
+				Value: s.Score(),
+			})
+		}
+		h.Rows = append(h.Rows, row)
+	}
+	return h
+}

@@ -1,0 +1,191 @@
+package numerics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StmtProfile is the aggregated error introduction of one source
+// statement across a whole run.
+type StmtProfile struct {
+	Proc              string  `json:"proc"`
+	Line              int     `json:"line"`
+	Ops               int64   `json:"ops"`
+	Assigns           int64   `json:"assigns"`
+	RoundErrSum       float64 `json:"round_err_sum"`
+	RoundErrMax       float64 `json:"round_err_max"`
+	MaxDivergence     float64 `json:"max_divergence"`
+	Cancellations     int64   `json:"cancellations"`
+	Catastrophic      int64   `json:"catastrophic"`
+	CancelBitsMax     float64 `json:"cancel_bits_max"`
+	BranchDivergences int64   `json:"branch_divergences"`
+	Discretizations   int64   `json:"discretizations"`
+	NonFinite         int64   `json:"non_finite"`
+}
+
+// Score orders statements by how much error they introduce: total
+// local rounding born there plus the worst cumulative divergence
+// observed flowing through.
+func (s *StmtProfile) Score() float64 { return s.RoundErrSum + s.MaxDivergence }
+
+// Where renders the statement position as file:line.
+func (s *StmtProfile) Where(file string) string {
+	return fmt.Sprintf("%s:%d", file, s.Line)
+}
+
+// AtomProfile is the error observed at assignments to one search atom.
+type AtomProfile struct {
+	QName         string  `json:"qname"`
+	Assigns       int64   `json:"assigns"`
+	RoundErrSum   float64 `json:"round_err_sum"`
+	MaxDivergence float64 `json:"max_divergence"`
+	DivergenceSum float64 `json:"divergence_sum"`
+	Cancellations int64   `json:"cancellations"`
+	Catastrophic  int64   `json:"catastrophic"`
+}
+
+// Profile is the numeric diagnosis of one instrumented run. All
+// fields are finite (relative errors of non-finite values are tracked
+// as provenance events, not numbers), so it marshals to JSON losslessly.
+type Profile struct {
+	File              string          `json:"file"`
+	CancelBits        float64         `json:"cancel_bits"`
+	Ops               int64           `json:"ops"`
+	Cancellations     int64           `json:"cancellations"`
+	Catastrophic      int64           `json:"catastrophic"`
+	BranchDivergences int64           `json:"branch_divergences"`
+	Discretizations   int64           `json:"discretizations"`
+	NonFinite         int64           `json:"non_finite"`
+	MaxDivergence     float64         `json:"max_divergence"`
+	FirstNonFinite    *NonFiniteEvent `json:"first_non_finite,omitempty"`
+	Statements        []StmtProfile   `json:"statements"`
+	Atoms             []AtomProfile   `json:"atoms"`
+}
+
+// Profile snapshots the recorder into a sorted, render-ready profile.
+// Nil recorders yield nil (no diagnostics requested).
+func (r *Recorder) Profile() *Profile {
+	if r == nil {
+		return nil
+	}
+	p := &Profile{
+		File:              r.file,
+		CancelBits:        r.cancelBits,
+		Ops:               r.ops,
+		Cancellations:     r.cancels,
+		Catastrophic:      r.catastrophic,
+		BranchDivergences: r.branches,
+		Discretizations:   r.discrete,
+		NonFinite:         r.nonFinCount,
+		MaxDivergence:     r.maxDiv,
+		FirstNonFinite:    r.firstNF,
+		Statements:        make([]StmtProfile, 0, len(r.stmts)),
+		Atoms:             make([]AtomProfile, 0, len(r.atoms)),
+	}
+	for k, st := range r.stmts {
+		p.Statements = append(p.Statements, StmtProfile{
+			Proc: k.Proc, Line: k.Line,
+			Ops: st.ops, Assigns: st.assigns,
+			RoundErrSum: st.roundSum, RoundErrMax: st.roundMax,
+			MaxDivergence: st.maxDiv,
+			Cancellations: st.cancels, Catastrophic: st.catastrophic,
+			CancelBitsMax:     st.cancelBitsMax,
+			BranchDivergences: st.branches,
+			Discretizations:   st.discrete,
+			NonFinite:         st.nonFin,
+		})
+	}
+	sort.Slice(p.Statements, func(i, j int) bool {
+		si, sj := p.Statements[i].Score(), p.Statements[j].Score()
+		if si != sj {
+			return si > sj
+		}
+		if p.Statements[i].Proc != p.Statements[j].Proc {
+			return p.Statements[i].Proc < p.Statements[j].Proc
+		}
+		return p.Statements[i].Line < p.Statements[j].Line
+	})
+	for q, at := range r.atoms {
+		p.Atoms = append(p.Atoms, AtomProfile{
+			QName: q, Assigns: at.assigns,
+			RoundErrSum:   at.roundSum,
+			MaxDivergence: at.maxDiv, DivergenceSum: at.divSum,
+			Cancellations: at.cancels, Catastrophic: at.catastrophic,
+		})
+	}
+	sort.Slice(p.Atoms, func(i, j int) bool {
+		if p.Atoms[i].MaxDivergence != p.Atoms[j].MaxDivergence {
+			return p.Atoms[i].MaxDivergence > p.Atoms[j].MaxDivergence
+		}
+		if p.Atoms[i].RoundErrSum != p.Atoms[j].RoundErrSum {
+			return p.Atoms[i].RoundErrSum > p.Atoms[j].RoundErrSum
+		}
+		return p.Atoms[i].QName < p.Atoms[j].QName
+	})
+	return p
+}
+
+// Render formats the profile as an error-attribution table: run
+// totals, the top statements by Score, and the top atoms by observed
+// divergence. top ≤ 0 means all.
+func (p *Profile) Render(top int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "numeric profile: %s\n", p.File)
+	fmt.Fprintf(&b, "  fp ops %d · cancellations %d (catastrophic %d, threshold %.0f bits) · branch divergences %d · discretization flips %d\n",
+		p.Ops, p.Cancellations, p.Catastrophic, p.CancelBits, p.BranchDivergences, p.Discretizations)
+	fmt.Fprintf(&b, "  max divergence vs float64 shadow: %.3e\n", p.MaxDivergence)
+	if p.FirstNonFinite != nil {
+		src := "also non-finite at full precision"
+		if p.FirstNonFinite.ShadowFinite {
+			src = "finite at full precision: lowering-induced"
+		}
+		fmt.Fprintf(&b, "  first non-finite: %s:%d in %s (op %s, %s), %d total\n",
+			p.File, p.FirstNonFinite.Line, p.FirstNonFinite.Proc,
+			p.FirstNonFinite.Op, src, p.NonFinite)
+	}
+
+	stmts := p.Statements
+	if top > 0 && len(stmts) > top {
+		stmts = stmts[:top]
+	}
+	if len(stmts) > 0 {
+		fmt.Fprintf(&b, "\n  %-18s %-12s %8s %12s %12s %12s %7s\n",
+			"where", "proc", "ops", "round(sum)", "round(max)", "div(max)", "cancel")
+		for i := range stmts {
+			s := &stmts[i]
+			cancel := "-"
+			if s.Cancellations > 0 {
+				cancel = fmt.Sprintf("%d", s.Cancellations)
+				if s.Catastrophic > 0 {
+					cancel = fmt.Sprintf("%d!%d", s.Cancellations, s.Catastrophic)
+				}
+			}
+			fmt.Fprintf(&b, "  %-18s %-12s %8d %12.3e %12.3e %12.3e %7s\n",
+				s.Where(p.File), s.Proc, s.Ops,
+				s.RoundErrSum, s.RoundErrMax, s.MaxDivergence, cancel)
+		}
+	}
+
+	atoms := p.Atoms
+	if top > 0 && len(atoms) > top {
+		atoms = atoms[:top]
+	}
+	if len(atoms) > 0 {
+		fmt.Fprintf(&b, "\n  %-28s %8s %12s %12s %7s\n",
+			"atom", "assigns", "div(max)", "round(sum)", "cancel")
+		for i := range atoms {
+			a := &atoms[i]
+			cancel := "-"
+			if a.Cancellations > 0 {
+				cancel = fmt.Sprintf("%d", a.Cancellations)
+				if a.Catastrophic > 0 {
+					cancel = fmt.Sprintf("%d!%d", a.Cancellations, a.Catastrophic)
+				}
+			}
+			fmt.Fprintf(&b, "  %-28s %8d %12.3e %12.3e %7s\n",
+				a.QName, a.Assigns, a.MaxDivergence, a.RoundErrSum, cancel)
+		}
+	}
+	return b.String()
+}

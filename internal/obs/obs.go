@@ -39,9 +39,19 @@ const (
 	MetricInterpRuns     = "interp_runs"     // interpreter executions
 	MetricInterpSteps    = "interp_steps"    // interpreter statements executed, summed
 
+	// Numeric-diagnostics counters, populated only when shadow
+	// execution is on (core Options.Numerics / interp Config.Numerics).
+	MetricNumericOps             = "numeric_ops"                // shadow-checked FP operations
+	MetricNumericCancellations   = "numeric_cancellations"      // cancellations >= the bit threshold
+	MetricNumericCatastrophic    = "numeric_catastrophic"       // cancellations of already-inexact operands
+	MetricNumericBranchDiverg    = "numeric_branch_divergences" // comparisons deciding differently in shadow
+	MetricNumericDiscretizations = "numeric_discretizations"    // int/nint/floor results flipped vs shadow
+	MetricNumericNonFinite       = "numeric_nonfinite"          // non-finite values born in the primary lane
+
 	GaugeBestSpeedup = "best_speedup" // best passing speedup so far
 	GaugeBreakerOpen = "breaker_open" // 1 while the circuit breaker is open
 
-	HistQueueWaitNS = "queue_wait_ns" // batch job wait for a worker slot
-	HistEvalRunNS   = "eval_run_ns"   // evaluation wall time once running
+	HistQueueWaitNS       = "queue_wait_ns"      // batch job wait for a worker slot
+	HistEvalRunNS         = "eval_run_ns"        // evaluation wall time once running
+	HistNumericDivergence = "numeric_divergence" // per-eval worst primary-vs-shadow relative divergence
 )

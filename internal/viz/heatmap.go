@@ -1,0 +1,101 @@
+package viz
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+)
+
+// Heatmap is a row-labelled cell grid rendered as an HTML table, used
+// for per-procedure error heatmaps. Cell color scales with Value on a
+// log scale from white (the smallest positive value) to deep red (the
+// largest); zero and negative values stay uncolored.
+type Heatmap struct {
+	Title  string
+	Legend string
+	Rows   []HeatRow
+}
+
+// HeatRow is one labelled row of cells.
+type HeatRow struct {
+	Name  string
+	Cells []HeatCell
+}
+
+// HeatCell is one colored cell. Label is rendered in the cell, Title
+// becomes the hover tooltip.
+type HeatCell struct {
+	Label string
+	Title string
+	Value float64
+}
+
+// HTML renders the heatmap as an HTML fragment for inclusion in Page.
+func (h *Heatmap) HTML() string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range h.Rows {
+		for _, c := range row.Cells {
+			if c.Value <= 0 {
+				continue
+			}
+			if c.Value < lo {
+				lo = c.Value
+			}
+			if c.Value > hi {
+				hi = c.Value
+			}
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString(`<div class="heatmap">`)
+	if h.Title != "" {
+		fmt.Fprintf(&sb, "<h2>%s</h2>", html.EscapeString(h.Title))
+	}
+	sb.WriteString(`<table style="border-collapse: collapse; font-family: monospace; font-size: 12px;">`)
+	for _, row := range h.Rows {
+		sb.WriteString(`<tr>`)
+		fmt.Fprintf(&sb, `<th style="text-align: right; padding: 2px 8px 2px 0; font-weight: normal; color: #444;">%s</th>`,
+			html.EscapeString(row.Name))
+		for _, c := range row.Cells {
+			bg, fg := heatColor(c.Value, lo, hi)
+			fmt.Fprintf(&sb, `<td style="border: 1px solid #ddd; padding: 2px 6px; background: %s; color: %s;" title="%s">%s</td>`,
+				bg, fg, html.EscapeString(c.Title), html.EscapeString(c.Label))
+		}
+		sb.WriteString(`</tr>`)
+	}
+	sb.WriteString(`</table>`)
+	if h.Legend != "" {
+		fmt.Fprintf(&sb, `<p style="color: #666; font-size: 12px;">%s</p>`, html.EscapeString(h.Legend))
+	}
+	sb.WriteString(`</div>`)
+	return sb.String()
+}
+
+// heatColor maps v into a white→red ramp, log-scaled over [lo, hi].
+// Returns background and a contrasting text color.
+func heatColor(v, lo, hi float64) (bg, fg string) {
+	if v <= 0 || math.IsInf(lo, 1) {
+		return "#ffffff", "#111"
+	}
+	f := 1.0
+	if hi > lo {
+		f = (math.Log(v) - math.Log(lo)) / (math.Log(hi) - math.Log(lo))
+	}
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	// Interpolate white (255,255,255) → #b91c1c (185,28,28).
+	r := 255 + f*(185-255)
+	g := 255 + f*(28-255)
+	b := 255 + f*(28-255)
+	fg = "#111"
+	if f > 0.55 {
+		fg = "#fff"
+	}
+	return fmt.Sprintf("#%02x%02x%02x", int(r), int(g), int(b)), fg
+}

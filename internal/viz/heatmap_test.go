@@ -1,0 +1,64 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeatmapHTMLWellFormed(t *testing.T) {
+	h := &Heatmap{
+		Title:  "error heat <by> statement",
+		Legend: "log scale",
+		Rows: []HeatRow{
+			{Name: "mod.proc", Cells: []HeatCell{
+				{Label: "12", Title: "line 12 <hot>", Value: 1e-3},
+				{Label: "13", Title: "line 13", Value: 1e-8},
+				{Label: "14", Title: "line 14, clean", Value: 0},
+			}},
+			{Name: "mod.other", Cells: []HeatCell{
+				{Label: "40!", Title: "catastrophic", Value: 5e-2},
+			}},
+		},
+	}
+	out := h.HTML()
+	for _, want := range []string{"<table", "</table>", "mod.proc", "mod.other",
+		"40!", "log scale"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("heatmap HTML missing %q", want)
+		}
+	}
+	if strings.Count(out, "<td") != 4 {
+		t.Errorf("want 4 cells, got %d", strings.Count(out, "<td"))
+	}
+	// Titles and labels must be escaped.
+	if strings.Contains(out, "<hot>") || strings.Contains(out, "<by>") {
+		t.Error("heatmap HTML does not escape user strings")
+	}
+	// The hottest cell must be darker (lower RGB) than the coolest
+	// positive one, and the zero cell must stay uncolored.
+	hotBG, _ := heatColor(5e-2, 1e-8, 5e-2)
+	coolBG, _ := heatColor(1e-8, 1e-8, 5e-2)
+	zeroBG, _ := heatColor(0, 1e-8, 5e-2)
+	if hotBG == coolBG {
+		t.Errorf("hot and cool cells share color %s", hotBG)
+	}
+	if !strings.Contains(out, hotBG) || !strings.Contains(out, coolBG) {
+		t.Error("rendered HTML does not use the scale endpoint colors")
+	}
+	if zeroBG != "#ffffff" {
+		t.Errorf("zero-value cell colored %s, want white", zeroBG)
+	}
+}
+
+// TestHeatmapSingleValue pins the degenerate scale: one positive value
+// must not divide by zero and should land at the hot end.
+func TestHeatmapSingleValue(t *testing.T) {
+	h := &Heatmap{Rows: []HeatRow{{Name: "p", Cells: []HeatCell{{Label: "1", Value: 2.5}}}}}
+	out := h.HTML()
+	if !strings.Contains(out, "<td") {
+		t.Fatal("no cell rendered")
+	}
+	if strings.Contains(out, "NaN") {
+		t.Error("single-value heatmap produced NaN in output")
+	}
+}

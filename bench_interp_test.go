@@ -16,10 +16,11 @@ import (
 	"repro/internal/perfmodel"
 )
 
-// benchInterpRun runs funarc end to end, with or without a shadow
-// recorder attached. The recorder (when on) is rebuilt per iteration —
-// that is how the tuner uses it, one recorder per evaluation.
-func benchInterpRun(b *testing.B, shadow bool) {
+// benchInterpRun runs funarc end to end on the given engine, with or
+// without a shadow recorder attached. The recorder (when on) is rebuilt
+// per iteration — that is how the tuner uses it, one recorder per
+// evaluation.
+func benchInterpRun(b *testing.B, shadow bool, eng interp.Engine) {
 	m := models.Funarc()
 	prog, err := m.Parse()
 	if err != nil {
@@ -29,7 +30,7 @@ func benchInterpRun(b *testing.B, shadow bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cfg := interp.Config{Model: machine, TrapNonFinite: true}
+		cfg := interp.Config{Model: machine, TrapNonFinite: true, Engine: eng}
 		if shadow {
 			cfg.Numerics = numerics.NewRecorder(m.Name+".ft", numerics.Options{})
 		}
@@ -44,12 +45,16 @@ func benchInterpRun(b *testing.B, shadow bool) {
 }
 
 // BenchmarkInterpShadowOverhead measures the cost of the shadow lane.
-// The off case is the pre-diagnostics hot path (the nil-recorder test
+// The off case is the uninstrumented hot path (the nil-recorder test
 // TestShadowDisabledAllocFlat pins it allocation-flat); the on case is
-// what every evaluation pays under tune -numerics.
+// what every evaluation pays under tune -numerics. The unsuffixed rows
+// run the default compiled engine; the engine=ast rows keep the
+// tree-walker's numbers visible for the VM-vs-AST comparison.
 func BenchmarkInterpShadowOverhead(b *testing.B) {
-	b.Run("shadow=off", func(b *testing.B) { benchInterpRun(b, false) })
-	b.Run("shadow=on", func(b *testing.B) { benchInterpRun(b, true) })
+	b.Run("shadow=off", func(b *testing.B) { benchInterpRun(b, false, interp.EngineVM) })
+	b.Run("shadow=on", func(b *testing.B) { benchInterpRun(b, true, interp.EngineVM) })
+	b.Run("shadow=off/engine=ast", func(b *testing.B) { benchInterpRun(b, false, interp.EngineAST) })
+	b.Run("shadow=on/engine=ast", func(b *testing.B) { benchInterpRun(b, true, interp.EngineAST) })
 }
 
 // BenchmarkTuneFunarcBaseline is the end-to-end funarc search the
@@ -95,8 +100,10 @@ func TestEmitInterpBench(t *testing.T) {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		}
 	}
-	off := row("InterpShadowOverhead/shadow=off", func(b *testing.B) { benchInterpRun(b, false) })
-	on := row("InterpShadowOverhead/shadow=on", func(b *testing.B) { benchInterpRun(b, true) })
+	off := row("InterpShadowOverhead/shadow=off", func(b *testing.B) { benchInterpRun(b, false, interp.EngineVM) })
+	on := row("InterpShadowOverhead/shadow=on", func(b *testing.B) { benchInterpRun(b, true, interp.EngineVM) })
+	astOff := row("InterpShadowOverhead/shadow=off/engine=ast", func(b *testing.B) { benchInterpRun(b, false, interp.EngineAST) })
+	astOn := row("InterpShadowOverhead/shadow=on/engine=ast", func(b *testing.B) { benchInterpRun(b, true, interp.EngineAST) })
 	tune := row("TuneFunarcBaseline", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -110,14 +117,19 @@ func TestEmitInterpBench(t *testing.T) {
 		}
 	})
 	out := struct {
-		Rows          []interpBenchRow `json:"rows"`
-		ShadowOnOffX  float64          `json:"shadow_on_off_ratio"`
-		GoVersion     string           `json:"go_version,omitempty"`
-		BenchmarkNote string           `json:"note"`
+		Rows            []interpBenchRow `json:"rows"`
+		ShadowOnOffX    float64          `json:"shadow_on_off_ratio"`
+		ShadowOnOffAstX float64          `json:"shadow_on_off_ratio_ast"`
+		VMSpeedupX      float64          `json:"vm_over_ast_speedup"`
+		GoVersion       string           `json:"go_version,omitempty"`
+		BenchmarkNote   string           `json:"note"`
 	}{
-		Rows:         []interpBenchRow{off, on, tune},
-		ShadowOnOffX: on.NsPerOp / off.NsPerOp,
+		Rows:            []interpBenchRow{off, on, astOff, astOn, tune},
+		ShadowOnOffX:    on.NsPerOp / off.NsPerOp,
+		ShadowOnOffAstX: astOn.NsPerOp / astOff.NsPerOp,
+		VMSpeedupX:      astOff.NsPerOp / off.NsPerOp,
 		BenchmarkNote: "funarc end-to-end interpreter run, shadow recorder rebuilt per iteration; " +
+			"engine=ast rows are the reference tree-walker (the 'before' of the VM compile); " +
 			"tune baseline is the full seed-1 delta-debugging search",
 	}
 	b, err := json.MarshalIndent(out, "", "  ")

@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	ft "repro/internal/fortran"
 	"repro/internal/gptl"
+	"repro/internal/interp"
 	"repro/internal/journal"
 	"repro/internal/models"
 	"repro/internal/numerics"
@@ -223,9 +224,14 @@ func cmdTune(args []string) error {
 	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address for the duration of the run (e.g. localhost:6060)")
 	progressEvery := fs.Duration("progress", 0, "print a live progress heartbeat to stderr at this interval (0 = off)")
 	numericsOn := fs.Bool("numerics", false, "shadow-execute every variant and attach numeric_* diagnostics to spans and metrics (diagnostic only: journal bytes unchanged)")
+	engineName := fs.String("engine", "vm", "interpreter engine: vm (closure-compiled, default) or ast (reference tree-walker); bit-identical results either way")
 	verbose := fs.Bool("v", false, "print each variant as it is evaluated")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	engine, err := interp.ParseEngine(*engineName)
+	if err != nil {
+		return fmt.Errorf("tune: %w", err)
 	}
 	if *resume && *journalPath == "" {
 		return fmt.Errorf("tune: -resume requires -journal")
@@ -248,7 +254,7 @@ func cmdTune(args []string) error {
 		MaxQuarantined: *maxQuarantined, RetryBackoff: *backoff,
 		RetriesByClass: byClass, Watchdog: *watchdog,
 		HalfOpen: *halfOpen, DrainGrace: *drainGrace,
-		Numerics: *numericsOn,
+		Numerics: *numericsOn, Engine: engine,
 	}
 	// Observability is strictly out-of-band: neither the tracer nor the
 	// registry is part of the run fingerprint, and enabling them must

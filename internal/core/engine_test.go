@@ -1,0 +1,48 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/models"
+)
+
+// TestEngineJournalByteIdentity is the end-to-end acceptance test for
+// the engine contract: a full tune journaled under the compiled VM must
+// be byte-identical to one journaled under the reference tree-walker,
+// serial and parallel alike. This is why Options.Engine is not part of
+// the journal fingerprint.
+func TestEngineJournalByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	for _, par := range []int{1, 8} {
+		runOne := func(eng interp.Engine) []byte {
+			jp := filepath.Join(dir, fmt.Sprintf("j-%s-par%d.jsonl", eng, par))
+			tn, err := New(models.Funarc(), Options{
+				Seed: 1, Parallelism: par, JournalPath: jp, Engine: eng,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tn.Run(nil); err != nil {
+				t.Fatalf("tune (engine=%s par=%d): %v", eng, par, err)
+			}
+			b, err := os.ReadFile(jp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(b) == 0 {
+				t.Fatalf("empty journal (engine=%s par=%d)", eng, par)
+			}
+			return b
+		}
+		ast := runOne(interp.EngineAST)
+		vm := runOne(interp.EngineVM)
+		if !bytes.Equal(ast, vm) {
+			t.Errorf("par=%d: journals diverged between engines (%d vs %d bytes)", par, len(ast), len(vm))
+		}
+	}
+}

@@ -145,6 +145,15 @@ type Options struct {
 	// perturb the evaluation stream or the journal bytes
 	// (test-enforced by TestNumericsDoesNotPerturbJournal).
 	Numerics bool
+
+	// Engine selects the interpreter execution engine for every run the
+	// tuner makes (baseline, uniform-32 build, variants). The zero value
+	// (interp.EngineVM) is the compiled engine; interp.EngineAST keeps
+	// the reference tree-walker. Deliberately not fingerprinted: the two
+	// engines are bit-for-bit equivalent by contract, so a journal
+	// recorded under one engine resumes byte-identically under the other
+	// (test-enforced by TestEngineJournalByteIdentity).
+	Engine interp.Engine
 }
 
 // supervising reports whether any resilience knob enables the
@@ -342,6 +351,7 @@ func (t *Tuner) runBaseline() error {
 		Model:         t.machine,
 		TrapNonFinite: true,
 		Profile:       true,
+		Engine:        t.opts.Engine,
 	})
 	if err != nil {
 		return err
@@ -399,7 +409,7 @@ func (t *Tuner) uniform32Error() (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: uniform-32 build: %w", err)
 	}
-	in, err := interp.New(v.Prog, interp.Config{Model: t.machine, TrapNonFinite: true})
+	in, err := interp.New(v.Prog, interp.Config{Model: t.machine, TrapNonFinite: true, Engine: t.opts.Engine})
 	if err != nil {
 		return 0, err
 	}
@@ -484,6 +494,7 @@ func (t *Tuner) EvaluateSpan(sp *obs.Span, a transform.Assignment) *search.Evalu
 		CycleBudget:   3 * t.baseline.TotalCycles, // §IV-A: 3x baseline timeout
 		Context:       t.runCtx,                   // hard cancellation after the drain grace
 		Numerics:      nrec,                       // nil unless Options.Numerics
+		Engine:        t.opts.Engine,
 	})
 	if err != nil {
 		ev.Status = search.StatusError

@@ -1,0 +1,627 @@
+package interp
+
+// The unboxed real fast path. The general compiled form (compile.go)
+// evaluates every expression to a Value, which keeps the bit-for-bit
+// contract easy to see but copies a ~70-byte struct through every
+// closure call. Real-typed scalar expressions — the inner loops of
+// every model — don't need the box: this file compiles them to vreals
+// closures that thread two float64 lanes (primary, shadow) directly.
+//
+// The contract is unchanged: a vreals closure must charge the same
+// cycles in the same order, make the same recorder calls, and produce
+// the same bits as the Value-path closure it replaces. To keep the
+// shadow lane free when uninstrumented, every constructor compiles two
+// flavors: with a recorder (sh is the true float64 shadow) and without
+// (sh is unread; closures return the primary so the lane is never
+// garbage). realExpr returns nil whenever it cannot prove exact
+// equivalence, and the caller falls back to the Value path.
+
+import (
+	"math"
+
+	ft "repro/internal/fortran"
+	"repro/internal/perfmodel"
+)
+
+// vreals evaluates a real-typed scalar expression to its primary and
+// shadow lanes, charging its cost.
+type vreals func(m *vm, fr *vframe) (float64, float64, error)
+
+// realExpr compiles e to the unboxed fast path, or returns nil when e
+// needs the general Value path (calls, arrays of unknown shape, int
+// subexpressions, ...).
+func (c *compiler) realExpr(e ft.Expr) vreals {
+	switch e := e.(type) {
+	case *ft.RealLit:
+		f, s := convertReal(e.Val, e.Kind), e.Val
+		return func(m *vm, fr *vframe) (float64, float64, error) { return f, s, nil }
+	case *ft.IntLit:
+		// Only reachable as an operand of a real-typed parent, where the
+		// Value path reads it via asFloat()/sh() — both float64(Val) —
+		// and charges nothing for a literal operand.
+		f := float64(e.Val)
+		return func(m *vm, fr *vframe) (float64, float64, error) { return f, f, nil }
+	case *ft.VarRef:
+		d := e.Decl
+		if d == nil || d.IsArray() || d.Base != ft.TReal {
+			return nil
+		}
+		slot := d.Slot
+		if d.Proc != nil {
+			if c.rec != nil {
+				return func(m *vm, fr *vframe) (float64, float64, error) {
+					return fr.f[slot], fr.sh[slot], nil
+				}
+			}
+			return func(m *vm, fr *vframe) (float64, float64, error) {
+				f := fr.f[slot]
+				return f, f, nil
+			}
+		}
+		mi := d.InMod.Index
+		if c.rec != nil {
+			return func(m *vm, fr *vframe) (float64, float64, error) {
+				g := m.gl[mi]
+				return g.f[slot], g.sh[slot], nil
+			}
+		}
+		return func(m *vm, fr *vframe) (float64, float64, error) {
+			f := m.gl[mi].f[slot]
+			return f, f, nil
+		}
+	case *ft.IndexExpr:
+		r := c.elemRef(e)
+		loadCost := [2]float64{c.cost(perfmodel.OpLoad, 4), c.cost(perfmodel.OpLoad, 8)}
+		return func(m *vm, fr *vframe) (float64, float64, error) {
+			arr, off, err := r.resolve(m, fr)
+			if err != nil {
+				return 0, 0, err
+			}
+			m.chargeMem(loadCost[kindIdx(arr.Kind)])
+			f := arr.Data[off]
+			sh := f
+			if arr.Shadow != nil {
+				sh = arr.Shadow[off]
+			}
+			return f, sh, nil
+		}
+	case *ft.UnExpr:
+		switch e.Op {
+		case ft.PLUS:
+			return c.realExpr(e.X)
+		case ft.MINUS:
+			xt := e.X.Type()
+			if xt.Base != ft.TReal {
+				return nil
+			}
+			xv := c.realExpr(e.X)
+			if xv == nil {
+				return nil
+			}
+			cost := c.cost(perfmodel.OpAddSub, xt.Kind)
+			kind := xt.Kind
+			if c.rec != nil {
+				return func(m *vm, fr *vframe) (float64, float64, error) {
+					xf, xs, err := xv(m, fr)
+					if err != nil {
+						return 0, 0, err
+					}
+					m.charge(cost)
+					return convertReal(-xf, kind), -xs, nil
+				}
+			}
+			return func(m *vm, fr *vframe) (float64, float64, error) {
+				xf, _, err := xv(m, fr)
+				if err != nil {
+					return 0, 0, err
+				}
+				m.charge(cost)
+				f := convertReal(-xf, kind)
+				return f, f, nil
+			}
+		}
+		return nil
+	case *ft.BinExpr:
+		return c.realBinary(e)
+	case *ft.CallExpr:
+		return c.realIntrinsic(e)
+	}
+	return nil
+}
+
+// realBinary compiles real arithmetic (the tail of compiler.binary)
+// unboxed. Operands must be statically real (or an integer literal,
+// which the Value path also treats castless); a ** with a non-literal
+// integer exponent falls back.
+func (c *compiler) realBinary(e *ft.BinExpr) vreals {
+	if e.Typ.Base != ft.TReal {
+		return nil
+	}
+	switch e.Op {
+	case ft.PLUS, ft.MINUS, ft.STAR, ft.SLASH, ft.POW:
+	default:
+		return nil
+	}
+	xt, yt := e.X.Type(), e.Y.Type()
+	if xt.Base != ft.TReal {
+		if _, ok := e.X.(*ft.IntLit); !ok {
+			return nil
+		}
+	}
+	powIntLit, _ := e.Y.(*ft.IntLit)
+	if yt.Base != ft.TReal && powIntLit == nil {
+		return nil
+	}
+	xv, yv := c.realExpr(e.X), c.realExpr(e.Y)
+	if xv == nil || yv == nil {
+		return nil
+	}
+
+	k := e.Typ.Kind
+	chX := c.operandCast(e.X, xt, k)
+	chY := c.operandCast(e.Y, yt, k)
+
+	// Operation cost, mirroring binary()'s chargeOp constants.
+	var cost float64
+	var ob byte
+	switch e.Op {
+	case ft.PLUS:
+		ob, cost = '+', c.cost(perfmodel.OpAddSub, k)
+	case ft.MINUS:
+		ob, cost = '-', c.cost(perfmodel.OpAddSub, k)
+	case ft.STAR:
+		ob, cost = '*', c.cost(perfmodel.OpMul, k)
+	case ft.SLASH:
+		ob, cost = '/', c.cost(perfmodel.OpDiv, k)
+	case ft.POW:
+		ob = '^'
+		if lit, ok := e.Y.(*ft.IntLit); ok && lit.Val >= 0 && lit.Val <= 4 {
+			cost = c.cost(perfmodel.OpMul, k) * float64(max64(lit.Val-1, 1))
+		} else {
+			cost = c.cost(perfmodel.OpPow, k)
+		}
+	}
+
+	// prim computes the primary lane from operands already converted to
+	// the op kind (identical to binary()'s prim table).
+	kk := k
+	var prim func(xf, yf float64) float64
+	isPow := e.Op == ft.POW
+	powInt := isPow && yt.Base == ft.TInteger
+	var yi int64
+	if powInt {
+		yi = powIntLit.Val
+	}
+	switch {
+	case isPow:
+		ytt := yt
+		prim = func(xf, yf float64) float64 { return powReal(kk, ytt, xf, yf, yi) }
+	case k == 4:
+		switch e.Op {
+		case ft.PLUS:
+			prim = func(xf, yf float64) float64 { return float64(float32(xf) + float32(yf)) }
+		case ft.MINUS:
+			prim = func(xf, yf float64) float64 { return float64(float32(xf) - float32(yf)) }
+		case ft.STAR:
+			prim = func(xf, yf float64) float64 { return float64(float32(xf) * float32(yf)) }
+		default:
+			prim = func(xf, yf float64) float64 { return float64(float32(xf) / float32(yf)) }
+		}
+	default:
+		switch e.Op {
+		case ft.PLUS:
+			prim = func(xf, yf float64) float64 { return xf + yf }
+		case ft.MINUS:
+			prim = func(xf, yf float64) float64 { return xf - yf }
+		case ft.STAR:
+			prim = func(xf, yf float64) float64 { return xf * yf }
+		default:
+			prim = func(xf, yf float64) float64 { return xf / yf }
+		}
+	}
+
+	if c.rec == nil {
+		// Uninstrumented: skip the operand convertReal for non-pow ops —
+		// float32(x) == float32(rnd32(x)) and kind-8 conversion is the
+		// identity, so the primary bits are unchanged. Pow consumes its
+		// operands in float64, so it still pre-rounds.
+		if isPow {
+			return func(m *vm, fr *vframe) (float64, float64, error) {
+				xf, _, err := xv(m, fr)
+				if err != nil {
+					return 0, 0, err
+				}
+				yf, _, err := yv(m, fr)
+				if err != nil {
+					return 0, 0, err
+				}
+				if chX != nil {
+					chX(m)
+				}
+				if chY != nil {
+					chY(m)
+				}
+				m.charge(cost)
+				f := prim(convertReal(xf, kk), convertReal(yf, kk))
+				return f, f, nil
+			}
+		}
+		return func(m *vm, fr *vframe) (float64, float64, error) {
+			xf, _, err := xv(m, fr)
+			if err != nil {
+				return 0, 0, err
+			}
+			yf, _, err := yv(m, fr)
+			if err != nil {
+				return 0, 0, err
+			}
+			if chX != nil {
+				chX(m)
+			}
+			if chY != nil {
+				chY(m)
+			}
+			m.charge(cost)
+			f := prim(xf, yf)
+			return f, f, nil
+		}
+	}
+
+	rs := c.rsite(e.Pos.Line)
+	// Kind-8 non-pow ops get dedicated closures: conversion to the op
+	// kind is the identity, the primary IS the exact float64 result
+	// (prim and binOp64 agree bit for bit), and the shadow op is a
+	// single direct flop — no indirect prim call. This is the hot shape
+	// of every double-precision baseline under a recorder.
+	if kk == 8 && !isPow {
+		switch e.Op {
+		case ft.PLUS:
+			return func(m *vm, fr *vframe) (float64, float64, error) {
+				xf, xs, err := xv(m, fr)
+				if err != nil {
+					return 0, 0, err
+				}
+				yf, ys, err := yv(m, fr)
+				if err != nil {
+					return 0, 0, err
+				}
+				if chX != nil {
+					chX(m)
+				}
+				if chY != nil {
+					chY(m)
+				}
+				m.charge(cost)
+				f := xf + yf
+				sh := xs + ys
+				rs.op(m, '+', xf, yf, xs, ys, f, f, sh)
+				return f, sh, nil
+			}
+		case ft.MINUS:
+			return func(m *vm, fr *vframe) (float64, float64, error) {
+				xf, xs, err := xv(m, fr)
+				if err != nil {
+					return 0, 0, err
+				}
+				yf, ys, err := yv(m, fr)
+				if err != nil {
+					return 0, 0, err
+				}
+				if chX != nil {
+					chX(m)
+				}
+				if chY != nil {
+					chY(m)
+				}
+				m.charge(cost)
+				f := xf - yf
+				sh := xs - ys
+				rs.op(m, '-', xf, yf, xs, ys, f, f, sh)
+				return f, sh, nil
+			}
+		case ft.STAR:
+			return func(m *vm, fr *vframe) (float64, float64, error) {
+				xf, xs, err := xv(m, fr)
+				if err != nil {
+					return 0, 0, err
+				}
+				yf, ys, err := yv(m, fr)
+				if err != nil {
+					return 0, 0, err
+				}
+				if chX != nil {
+					chX(m)
+				}
+				if chY != nil {
+					chY(m)
+				}
+				m.charge(cost)
+				f := xf * yf
+				sh := xs * ys
+				rs.op(m, '*', xf, yf, xs, ys, f, f, sh)
+				return f, sh, nil
+			}
+		default: // ft.SLASH
+			return func(m *vm, fr *vframe) (float64, float64, error) {
+				xf, xs, err := xv(m, fr)
+				if err != nil {
+					return 0, 0, err
+				}
+				yf, ys, err := yv(m, fr)
+				if err != nil {
+					return 0, 0, err
+				}
+				if chX != nil {
+					chX(m)
+				}
+				if chY != nil {
+					chY(m)
+				}
+				m.charge(cost)
+				f := xf / yf
+				sh := xs / ys
+				rs.op(m, '/', xf, yf, xs, ys, f, f, sh)
+				return f, sh, nil
+			}
+		}
+	}
+	// At kind 8 the primary IS the exact float64 result (prim and
+	// binOp64 agree bit for bit for every op, including both pow
+	// lowerings), so the exact lane is free. Kind 4 recomputes it.
+	exactIsF := kk == 8
+	return func(m *vm, fr *vframe) (float64, float64, error) {
+		xr, xs, err := xv(m, fr)
+		if err != nil {
+			return 0, 0, err
+		}
+		yr, ys, err := yv(m, fr)
+		if err != nil {
+			return 0, 0, err
+		}
+		if chX != nil {
+			chX(m)
+		}
+		if chY != nil {
+			chY(m)
+		}
+		m.charge(cost)
+		xf, yf := convertReal(xr, kk), convertReal(yr, kk)
+		f := prim(xf, yf)
+		yp := yf
+		if powInt {
+			// The integer-exponent path bypasses yf.
+			yp = float64(yi)
+		}
+		exact := f
+		if !exactIsF {
+			exact = binOp64(ob, xf, yp)
+		}
+		sh := exact
+		if xs != xf || ys != yp {
+			sh = binOp64(ob, xs, ys)
+		}
+		rs.op(m, ob, xf, yp, xs, ys, f, exact, sh)
+		return f, sh, nil
+	}
+}
+
+// realIntrinsic compiles the single-argument real intrinsics (the
+// unIntrinsic table) unboxed. Everything else falls back.
+func (c *compiler) realIntrinsic(e *ft.CallExpr) vreals {
+	if e.Intrinsic == "" || e.Typ.Base != ft.TReal || len(e.Args) != 1 {
+		return nil
+	}
+	var cls perfmodel.OpClass
+	var fn func(float64) float64
+	switch e.Intrinsic {
+	case "abs":
+		cls, fn = perfmodel.OpSimple, math.Abs
+	case "sqrt":
+		cls, fn = perfmodel.OpSqrt, math.Sqrt
+	case "exp":
+		cls, fn = perfmodel.OpTrans, math.Exp
+	case "log":
+		cls, fn = perfmodel.OpTrans, math.Log
+	case "log10":
+		cls, fn = perfmodel.OpTrans, math.Log10
+	case "sin":
+		cls, fn = perfmodel.OpTrans, math.Sin
+	case "cos":
+		cls, fn = perfmodel.OpTrans, math.Cos
+	case "tan":
+		cls, fn = perfmodel.OpTrans, math.Tan
+	case "asin":
+		cls, fn = perfmodel.OpTrans, math.Asin
+	case "acos":
+		cls, fn = perfmodel.OpTrans, math.Acos
+	case "atan":
+		cls, fn = perfmodel.OpTrans, math.Atan
+	case "sinh":
+		cls, fn = perfmodel.OpTrans, math.Sinh
+	case "cosh":
+		cls, fn = perfmodel.OpTrans, math.Cosh
+	case "tanh":
+		cls, fn = perfmodel.OpTrans, math.Tanh
+	case "aint":
+		cls, fn = perfmodel.OpSimple, math.Trunc
+	case "anint":
+		cls, fn = perfmodel.OpSimple, math.Round
+	default:
+		return nil
+	}
+	a0 := c.realExpr(e.Args[0])
+	if a0 == nil {
+		return nil
+	}
+	kk := e.Typ.Kind
+	cost := c.cost(cls, kk)
+	if c.rec == nil {
+		return func(m *vm, fr *vframe) (float64, float64, error) {
+			x, _, err := a0(m, fr)
+			if err != nil {
+				return 0, 0, err
+			}
+			m.charge(cost)
+			f := convertReal(fn(x), kk)
+			return f, f, nil
+		}
+	}
+	name := e.Intrinsic
+	rs := c.rsite(e.Pos.Line)
+	return func(m *vm, fr *vframe) (float64, float64, error) {
+		x, xs, err := a0(m, fr)
+		if err != nil {
+			return 0, 0, err
+		}
+		m.charge(cost)
+		r := fn(x)
+		f := convertReal(r, kk)
+		// Same pure function on the same input: the shadow call is only
+		// paid when the lanes have actually diverged.
+		sh := r
+		if xs != x {
+			sh = fn(xs)
+		}
+		rs.intrinsic(m, name, x, f, r, sh)
+		return f, sh, nil
+	}
+}
+
+// realAssignVar compiles `realvar = <vreals>` — the hot-loop statement
+// shape — without boxing. Mirrors assign()'s VarRef case exactly.
+func (c *compiler) realAssignVar(s *ft.AssignStmt, d *ft.VarDecl, name string, rv vreals, chConv func(m *vm), atom string) vstmt {
+	pos := s.Pos
+	kind := d.Kind
+	slot := d.Slot
+	local := d.Proc != nil
+	var mi int
+	if !local {
+		mi = d.InMod.Index
+	}
+	if c.rec == nil {
+		return func(m *vm, fr *vframe) (control, error) {
+			if err := m.checkBudget(pos); err != nil {
+				return ctlNone, err
+			}
+			f, _, err := rv(m, fr)
+			if err != nil {
+				return ctlNone, err
+			}
+			if chConv != nil {
+				chConv(m)
+			}
+			fs := convertReal(f, kind)
+			if m.trap && nonFinite(fs) {
+				return ctlNone, &RunError{Pos: pos, Kind: FailNonFinite,
+					Msg: "assigning non-finite value to " + name}
+			}
+			if local {
+				fr.f[slot] = fs
+			} else {
+				m.gl[mi].f[slot] = fs
+			}
+			return ctlNone, nil
+		}
+	}
+	as := c.asite(pos.Line, atom)
+	return func(m *vm, fr *vframe) (control, error) {
+		if err := m.checkBudget(pos); err != nil {
+			return ctlNone, err
+		}
+		m.rec.PushTarget(atom)
+		f, sh, err := rv(m, fr)
+		if err != nil {
+			m.rec.PopTarget()
+			return ctlNone, err
+		}
+		if chConv != nil {
+			chConv(m)
+		}
+		fs := convertReal(f, kind)
+		as.assign(m, fs, sh, f)
+		if m.trap && nonFinite(fs) {
+			m.rec.PopTarget()
+			return ctlNone, &RunError{Pos: pos, Kind: FailNonFinite,
+				Msg: "assigning non-finite value to " + name}
+		}
+		g := fr
+		if !local {
+			g = m.gl[mi]
+		}
+		g.f[slot] = fs
+		if g.sh != nil {
+			g.sh[slot] = sh
+		}
+		m.rec.PopTarget()
+		return ctlNone, nil
+	}
+}
+
+// realAssignElem compiles `arr(i, ...) = <vreals>`, mirroring assign()'s
+// IndexExpr case.
+func (c *compiler) realAssignElem(s *ft.AssignStmt, lhs *ft.IndexExpr, rv vreals, chConv func(m *vm), atom string) vstmt {
+	pos := s.Pos
+	er := c.elemRef(lhs)
+	storeCost := [2]float64{c.cost(perfmodel.OpStore, 4), c.cost(perfmodel.OpStore, 8)}
+	arrName := lhs.Arr.Name
+	if c.rec == nil {
+		return func(m *vm, fr *vframe) (control, error) {
+			if err := m.checkBudget(pos); err != nil {
+				return ctlNone, err
+			}
+			f, _, err := rv(m, fr)
+			if err != nil {
+				return ctlNone, err
+			}
+			if chConv != nil {
+				chConv(m)
+			}
+			arr, off, err := er.resolve(m, fr)
+			if err != nil {
+				return ctlNone, err
+			}
+			m.chargeMem(storeCost[kindIdx(arr.Kind)])
+			fs := convertReal(f, arr.Kind)
+			if m.trap && nonFinite(fs) {
+				return ctlNone, &RunError{Pos: pos, Kind: FailNonFinite,
+					Msg: "assigning non-finite value to " + arrName + "(...)"}
+			}
+			arr.Data[off] = fs
+			return ctlNone, nil
+		}
+	}
+	as := c.asite(pos.Line, atom)
+	return func(m *vm, fr *vframe) (control, error) {
+		if err := m.checkBudget(pos); err != nil {
+			return ctlNone, err
+		}
+		m.rec.PushTarget(atom)
+		f, sh, err := rv(m, fr)
+		if err != nil {
+			m.rec.PopTarget()
+			return ctlNone, err
+		}
+		if chConv != nil {
+			chConv(m)
+		}
+		arr, off, err := er.resolve(m, fr)
+		if err != nil {
+			m.rec.PopTarget()
+			return ctlNone, err
+		}
+		m.chargeMem(storeCost[kindIdx(arr.Kind)])
+		fs := convertReal(f, arr.Kind)
+		as.assign(m, fs, sh, f)
+		if m.trap && nonFinite(fs) {
+			m.rec.PopTarget()
+			return ctlNone, &RunError{Pos: pos, Kind: FailNonFinite,
+				Msg: "assigning non-finite value to " + arrName + "(...)"}
+		}
+		arr.Data[off] = fs
+		if arr.Shadow != nil {
+			arr.Shadow[off] = sh
+		}
+		m.rec.PopTarget()
+		return ctlNone, nil
+	}
+}

@@ -1,0 +1,396 @@
+package interp
+
+// Differential tests pinning the bit-for-bit contract between the
+// closure-compiled VM (EngineVM) and the reference tree-walker
+// (EngineAST): identical results, cycle totals, step counts, cast
+// attribution, PRINT output, GPTL reports, and numerics profiles, on
+// every bundled model source and on randomized programs.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	ft "repro/internal/fortran"
+	"repro/internal/numerics"
+	"repro/internal/perfmodel"
+	"repro/internal/transform"
+)
+
+// engineRun captures everything observable from one run.
+type engineRun struct {
+	in      *Interp
+	res     *Result
+	errStr  string
+	stdout  []byte
+	timers  string
+	profile []byte
+}
+
+func runEngine(t *testing.T, prog *ft.Program, eng Engine, withNumerics bool) *engineRun {
+	t.Helper()
+	var out bytes.Buffer
+	cfg := Config{Model: perfmodel.Default(), Profile: true, Stdout: &out, Engine: eng}
+	var rec *numerics.Recorder
+	if withNumerics {
+		rec = numerics.NewRecorder("prog.ft", numerics.Options{})
+		cfg.Numerics = rec
+	}
+	in, err := New(prog, cfg)
+	if err != nil {
+		t.Fatalf("New(%v): %v", eng, err)
+	}
+	res, rerr := in.Run()
+	r := &engineRun{in: in, res: res, stdout: out.Bytes()}
+	if rerr != nil {
+		r.errStr = rerr.Error()
+	}
+	if res.Timers != nil {
+		r.timers = res.Timers.Report()
+	}
+	if rec != nil {
+		b, jerr := json.Marshal(rec.Profile())
+		if jerr != nil {
+			t.Fatalf("marshal profile: %v", jerr)
+		}
+		r.profile = b
+	}
+	return r
+}
+
+// compareEngines runs prog under both engines with identical configs
+// and fails on any observable divergence. Comparisons are exact (bit
+// patterns, not tolerances): the engines must agree down to float
+// accumulation order.
+func compareEngines(t *testing.T, prog *ft.Program, withNumerics bool) {
+	t.Helper()
+	ast := runEngine(t, prog, EngineAST, withNumerics)
+	vm := runEngine(t, prog, EngineVM, withNumerics)
+
+	if ast.errStr != vm.errStr {
+		t.Fatalf("run error diverged:\n  ast: %q\n  vm:  %q", ast.errStr, vm.errStr)
+	}
+	if b1, b2 := math.Float64bits(ast.res.Cycles), math.Float64bits(vm.res.Cycles); b1 != b2 {
+		t.Errorf("cycles diverged: ast %.17g vm %.17g", ast.res.Cycles, vm.res.Cycles)
+	}
+	if ast.res.Casts != vm.res.Casts {
+		t.Errorf("casts diverged: ast %d vm %d", ast.res.Casts, vm.res.Casts)
+	}
+	if math.Float64bits(ast.res.CastCycles) != math.Float64bits(vm.res.CastCycles) {
+		t.Errorf("cast cycles diverged: ast %.17g vm %.17g", ast.res.CastCycles, vm.res.CastCycles)
+	}
+	if ast.res.Steps != vm.res.Steps {
+		t.Errorf("steps diverged: ast %d vm %d", ast.res.Steps, vm.res.Steps)
+	}
+	if len(ast.res.ProcCastCycles) != len(vm.res.ProcCastCycles) {
+		t.Errorf("proc cast attribution diverged:\n  ast: %v\n  vm:  %v",
+			ast.res.ProcCastCycles, vm.res.ProcCastCycles)
+	}
+	for q, c := range ast.res.ProcCastCycles {
+		vc, ok := vm.res.ProcCastCycles[q]
+		if !ok || math.Float64bits(c) != math.Float64bits(vc) {
+			t.Errorf("proc cast cycles for %s diverged: ast %.17g vm %.17g (present=%v)", q, c, vc, ok)
+		}
+	}
+	if !bytes.Equal(ast.stdout, vm.stdout) {
+		t.Errorf("PRINT output diverged:\n  ast: %q\n  vm:  %q", ast.stdout, vm.stdout)
+	}
+	if ast.timers != vm.timers {
+		t.Errorf("GPTL report diverged:\n--- ast ---\n%s\n--- vm ---\n%s", ast.timers, vm.timers)
+	}
+	if !bytes.Equal(ast.profile, vm.profile) {
+		t.Errorf("numerics profile diverged:\n  ast: %s\n  vm:  %s", ast.profile, vm.profile)
+	}
+	compareGlobals(t, prog, ast.in, vm.in, withNumerics)
+}
+
+func compareGlobals(t *testing.T, prog *ft.Program, ast, vm *Interp, withNumerics bool) {
+	t.Helper()
+	for _, mod := range prog.Modules {
+		for _, d := range mod.Decls {
+			q := d.QName()
+			av, _ := ast.Global(q)
+			vv, _ := vm.Global(q)
+			if (av.Arr == nil) != (vv.Arr == nil) {
+				t.Errorf("global %s: array allocation diverged (ast nil=%v vm nil=%v)",
+					q, av.Arr == nil, vv.Arr == nil)
+				continue
+			}
+			if av.Arr != nil {
+				a, b := av.Arr, vv.Arr
+				if len(a.Data) != len(b.Data) {
+					t.Errorf("global %s: array size diverged (%d vs %d)", q, len(a.Data), len(b.Data))
+					continue
+				}
+				for k := range a.Data {
+					if math.Float64bits(a.Data[k]) != math.Float64bits(b.Data[k]) {
+						t.Errorf("global %s[%d]: ast %.17g vm %.17g", q, k, a.Data[k], b.Data[k])
+						break
+					}
+				}
+				if withNumerics {
+					if (a.Shadow == nil) != (b.Shadow == nil) {
+						t.Errorf("global %s: shadow allocation diverged", q)
+						continue
+					}
+					for k := range a.Shadow {
+						if math.Float64bits(a.Shadow[k]) != math.Float64bits(b.Shadow[k]) {
+							t.Errorf("global %s shadow[%d]: ast %.17g vm %.17g", q, k, a.Shadow[k], b.Shadow[k])
+							break
+						}
+					}
+				}
+				continue
+			}
+			if math.Float64bits(av.F) != math.Float64bits(vv.F) || av.I != vv.I || av.B != vv.B {
+				t.Errorf("global %s diverged: ast {F:%.17g I:%d B:%v} vm {F:%.17g I:%d B:%v}",
+					q, av.F, av.I, av.B, vv.F, vv.I, vv.B)
+			}
+			// The shadow lane is only defined under a recorder; without
+			// one the engines are free to report F there.
+			if withNumerics && math.Float64bits(av.Sh) != math.Float64bits(vv.Sh) {
+				t.Errorf("global %s shadow diverged: ast %.17g vm %.17g", q, av.Sh, vv.Sh)
+			}
+		}
+	}
+}
+
+func parseModelFile(t *testing.T, path string) *ft.Program {
+	t.Helper()
+	src, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatalf("read %s: %v", path, rerr)
+	}
+	prog, err := ft.ParseFile(path, string(src))
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	if _, err := ft.Analyze(prog, ft.Options{}); err != nil {
+		t.Fatalf("analyze %s: %v", path, err)
+	}
+	return prog
+}
+
+// TestEngineDifferentialModels runs every bundled model source — and
+// its uniform 32-bit lowering, the cast-heaviest variant the tuner ever
+// builds — through both engines, with and without shadow execution.
+func TestEngineDifferentialModels(t *testing.T) {
+	files, err := filepath.Glob("../models/src/*.ft")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no model sources found: %v", err)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			prog := parseModelFile(t, f)
+			compareEngines(t, prog, false)
+			compareEngines(t, prog, true)
+
+			v, err := transform.Apply(prog, transform.Uniform(transform.Atoms(prog), 4))
+			if err != nil {
+				t.Fatalf("uniform-32 transform: %v", err)
+			}
+			compareEngines(t, v.Prog, false)
+			compareEngines(t, v.Prog, true)
+		})
+	}
+}
+
+// TestEngineDifferentialBudget pins that both engines time out at the
+// same statement with the same error when a cycle budget truncates a
+// model run mid-flight.
+func TestEngineDifferentialBudget(t *testing.T) {
+	prog := parseModelFile(t, "../models/src/funarc.ft")
+	full := runEngine(t, prog, EngineAST, false)
+	if full.errStr != "" {
+		t.Fatalf("unbudgeted run failed: %s", full.errStr)
+	}
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		budget := full.res.Cycles * frac
+		run := func(eng Engine) (*Result, string) {
+			// Profile on, matching the baseline measurement (timer
+			// overhead is part of the cycle count).
+			in, err := New(prog, Config{Model: perfmodel.Default(), Profile: true, CycleBudget: budget, Engine: eng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, rerr := in.Run()
+			msg := ""
+			if rerr != nil {
+				msg = rerr.Error()
+			}
+			return res, msg
+		}
+		ares, aerr := run(EngineAST)
+		vres, verr := run(EngineVM)
+		if aerr == "" {
+			t.Fatalf("budget %.0f did not trip", budget)
+		}
+		if aerr != verr {
+			t.Errorf("budget error diverged:\n  ast: %q\n  vm:  %q", aerr, verr)
+		}
+		if math.Float64bits(ares.Cycles) != math.Float64bits(vres.Cycles) || ares.Steps != vres.Steps {
+			t.Errorf("budget %.0f: partial progress diverged: ast (%.17g cycles, %d steps) vm (%.17g cycles, %d steps)",
+				budget, ares.Cycles, ares.Steps, vres.Cycles, vres.Steps)
+		}
+	}
+}
+
+// TestEngineDifferentialProperty feeds randomized scalar expression
+// programs through both engines and requires bit-identical results and
+// cycle totals. The grammar leans on the operations with the trickiest
+// rounding behaviour: kind-4 arithmetic, **, and transcendentals.
+func TestEngineDifferentialProperty(t *testing.T) {
+	ops := []string{"+", "-", "*", "/"}
+	uns := []string{"sqrt(abs(%s))", "sin(%s)", "cos(%s)", "exp(min(%s, 4.0_8))", "abs(%s)", "-(%s)"}
+	pows := []string{"abs(%s) ** 2", "abs(%s) ** 3", "abs(%s) ** 7", "abs(%s) ** y", "abs(%s) ** 0.5_4"}
+	var rng uint64 = 0x9e3779b97f4a7c15
+	next := func(n int) int { // xorshift, deterministic across runs
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	var gen func(depth int) string
+	gen = func(depth int) string {
+		if depth <= 0 {
+			switch next(4) {
+			case 0:
+				return "x"
+			case 1:
+				return "y"
+			case 2:
+				return "1.7_4"
+			default:
+				return "0.3141592653589793_8"
+			}
+		}
+		switch next(3) {
+		case 0:
+			return fmt.Sprintf("(%s %s %s)", gen(depth-1), ops[next(len(ops))], gen(depth-1))
+		case 1:
+			return fmt.Sprintf(uns[next(len(uns))], gen(depth-1))
+		default:
+			return fmt.Sprintf("(%s)", fmt.Sprintf(pows[next(len(pows))], gen(depth-1)))
+		}
+	}
+	for i := 0; i < 120; i++ {
+		kind := 4 + 4*next(2)
+		x := float64(next(4000)-2000) / 128
+		y := float64(next(300)+1) / 64
+		expr := gen(2 + next(3))
+		src := fmt.Sprintf(`
+module e
+  implicit none
+  real(kind=8) :: r_out
+end module e
+program p
+  use e
+  implicit none
+  real(kind=%d) :: x, y
+  x = %.17g_8
+  y = %.17g_8
+  r_out = %s
+end program p
+`, kind, x, y, expr)
+		prog, err := ft.Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, src)
+		}
+		if _, err := ft.Analyze(prog, ft.Options{}); err != nil {
+			t.Fatalf("analyze: %v\n%s", err, src)
+		}
+		for _, withNumerics := range []bool{false, true} {
+			ast := runEngine(t, prog, EngineAST, withNumerics)
+			vm := runEngine(t, prog, EngineVM, withNumerics)
+			if ast.errStr != vm.errStr {
+				t.Fatalf("case %d (numerics=%v) error diverged:\n  ast: %q\n  vm: %q\nexpr: %s",
+					i, withNumerics, ast.errStr, vm.errStr, expr)
+			}
+			ar, _ := ast.in.GlobalFloat("e.r_out")
+			vr, _ := vm.in.GlobalFloat("e.r_out")
+			if math.Float64bits(ar) != math.Float64bits(vr) {
+				t.Errorf("case %d (numerics=%v) result diverged: ast %.17g vm %.17g\nexpr: %s",
+					i, withNumerics, ar, vr, expr)
+			}
+			if math.Float64bits(ast.res.Cycles) != math.Float64bits(vm.res.Cycles) ||
+				ast.res.Steps != vm.res.Steps || ast.res.Casts != vm.res.Casts {
+				t.Errorf("case %d (numerics=%v) accounting diverged: ast (%.17g, %d, %d) vm (%.17g, %d, %d)\nexpr: %s",
+					i, withNumerics, ast.res.Cycles, ast.res.Steps, ast.res.Casts,
+					vm.res.Cycles, vm.res.Steps, vm.res.Casts, expr)
+			}
+			if !bytes.Equal(ast.profile, vm.profile) {
+				t.Errorf("case %d numerics profile diverged\nexpr: %s\n  ast: %s\n  vm:  %s",
+					i, expr, ast.profile, vm.profile)
+			}
+		}
+	}
+}
+
+// TestCycleBudgetBoundary pins the budget contract documented on
+// Config.CycleBudget for both engines: the boundary is inclusive, so a
+// statement beginning at exactly CycleBudget cycles does not execute,
+// while a budget one ulp higher admits it.
+func TestCycleBudgetBoundary(t *testing.T) {
+	const prefix = `
+program p
+  implicit none
+  real(kind=8) :: a
+  a = 1.5_8 + 2.25_8
+end program p
+`
+	const full = `
+program p
+  implicit none
+  real(kind=8) :: a
+  a = 1.5_8 + 2.25_8
+  a = a * 2.0_8
+end program p
+`
+	build := func(src string) *ft.Program {
+		prog := ft.MustParse(src)
+		ft.MustAnalyze(prog, ft.Options{})
+		return prog
+	}
+	run := func(eng Engine, src string, budget float64) (*Result, error) {
+		in, err := New(build(src), Config{Model: perfmodel.Default(), CycleBudget: budget, Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in.Run()
+	}
+	for _, eng := range []Engine{EngineAST, EngineVM} {
+		res1, err := run(eng, prefix, 0)
+		if err != nil {
+			t.Fatalf("%v: prefix run: %v", eng, err)
+		}
+		c1 := res1.Cycles
+
+		// Exactly at the boundary: the second statement must not run.
+		res2, err := run(eng, full, c1)
+		if err == nil {
+			t.Fatalf("%v: budget %.17g did not stop the second statement", eng, c1)
+		}
+		var re *RunError
+		if !errors.As(err, &re) || re.Kind != FailTimeout {
+			t.Fatalf("%v: want FailTimeout, got %v", eng, err)
+		}
+		if res2.Steps != res1.Steps {
+			t.Errorf("%v: partial steps %d, want %d (timeout before the statement counts)",
+				eng, res2.Steps, res1.Steps)
+		}
+		if math.Float64bits(res2.Cycles) != math.Float64bits(c1) {
+			t.Errorf("%v: partial cycles %.17g, want %.17g", eng, res2.Cycles, c1)
+		}
+
+		// One ulp above the boundary: the run completes.
+		if _, err := run(eng, full, math.Nextafter(c1, math.Inf(1))); err != nil {
+			t.Errorf("%v: budget just above the boundary still tripped: %v", eng, err)
+		}
+	}
+}

@@ -236,12 +236,7 @@ func (i *Interp) evalBinary(fr *frame, e *ft.BinExpr) (Value, error) {
 		} else {
 			i.op(perfmodel.OpPow, k)
 		}
-		if yIsInt := yt.Base == ft.TInteger; yIsInt {
-			r = math.Pow(xf, float64(y.I))
-		} else {
-			r = math.Pow(xf, yf)
-		}
-		r = convertReal(r, k)
+		r = powReal(k, yt, xf, yf, y.I)
 	default:
 		return Value{}, &RunError{Pos: e.Pos, Kind: FailInternal,
 			Msg: fmt.Sprintf("unknown binary op %v", e.Op)}
@@ -287,8 +282,52 @@ func arith(kind int, x, y float64, f64 func(a, b float64) float64, f32 func(a, b
 	return f64(x, y)
 }
 
+// powReal evaluates x**y at the operation kind. Kind-4 integer
+// exponents use binary powering entirely in float32, the way compilers
+// lower them (libgcc __powisf2): every partial product rounds through
+// binary32. Evaluating in float64 and rounding once would double-round
+// — a fidelity difference the shadow lane must observe, not hide.
+// Kind-4 real exponents round the float64 pow once, modelling a libm
+// powf that returns the nearest binary32 result.
+func powReal(k int, yt ft.Type, xf, yf float64, yi int64) float64 {
+	if yt.Base == ft.TInteger {
+		if k == 4 {
+			return float64(powi32(float32(xf), yi))
+		}
+		return convertReal(math.Pow(xf, float64(yi)), k)
+	}
+	return convertReal(math.Pow(xf, yf), k)
+}
+
+// powi32 raises x to an integer power by binary powering in float32.
+func powi32(x float32, p int64) float32 {
+	n := p
+	if n < 0 {
+		n = -n
+	}
+	y := float32(1)
+	if n&1 == 1 {
+		y = x
+	}
+	for n >>= 1; n > 0; n >>= 1 {
+		x *= x
+		if n&1 == 1 {
+			y *= x
+		}
+	}
+	if p < 0 {
+		return 1 / y
+	}
+	return y
+}
+
 func (i *Interp) intArith(e *ft.BinExpr, x, y int64) (Value, error) {
-	switch e.Op {
+	return intArithVal(e.Op, e.Pos, x, y)
+}
+
+// intArithVal is the integer arithmetic kernel shared by both engines.
+func intArithVal(op ft.TokKind, pos ft.Pos, x, y int64) (Value, error) {
+	switch op {
 	case ft.PLUS:
 		return intValue(x + y), nil
 	case ft.MINUS:
@@ -297,7 +336,7 @@ func (i *Interp) intArith(e *ft.BinExpr, x, y int64) (Value, error) {
 		return intValue(x * y), nil
 	case ft.SLASH:
 		if y == 0 {
-			return Value{}, &RunError{Pos: e.Pos, Kind: FailNonFinite, Msg: "integer division by zero"}
+			return Value{}, &RunError{Pos: pos, Kind: FailNonFinite, Msg: "integer division by zero"}
 		}
 		return intValue(x / y), nil
 	case ft.POW:
@@ -310,8 +349,8 @@ func (i *Interp) intArith(e *ft.BinExpr, x, y int64) (Value, error) {
 		}
 		return intValue(r), nil
 	default:
-		return Value{}, &RunError{Pos: e.Pos, Kind: FailInternal,
-			Msg: fmt.Sprintf("unknown integer op %v", e.Op)}
+		return Value{}, &RunError{Pos: pos, Kind: FailInternal,
+			Msg: fmt.Sprintf("unknown integer op %v", op)}
 	}
 }
 

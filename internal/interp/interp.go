@@ -72,7 +72,11 @@ type Config struct {
 	// the mechanism behind Table II's "Error" outcomes.
 	TrapNonFinite bool
 	// CycleBudget aborts the run with FailTimeout once simulated cycles
-	// exceed it (0 = unlimited). The evaluator sets 3× baseline (§IV-A).
+	// reach it (0 = unlimited). The boundary is inclusive: a statement
+	// beginning at exactly CycleBudget cycles does not execute, so the
+	// evaluator's "3× baseline" contract (§IV-A) admits strictly less
+	// than three baselines of work. Pinned by TestCycleBudgetBoundary
+	// for both engines.
 	CycleBudget float64
 	// Context, if non-nil, aborts the run with FailCancelled once it is
 	// done. It is polled periodically in the statement loop, alongside
@@ -92,6 +96,45 @@ type Config struct {
 	// failure behaviour (test-enforced), and nil keeps the hot path
 	// allocation-free.
 	Numerics *numerics.Recorder
+	// Engine selects the evaluator: the closure-compiled VM (default)
+	// or the reference tree-walker. Strictly an implementation choice —
+	// results, cycles, steps, recorder traces, and journals are
+	// bit-for-bit identical across engines (test-enforced) — so the
+	// engine is never part of a journal fingerprint.
+	Engine Engine
+}
+
+// Engine selects how a run executes the checked AST.
+type Engine int
+
+// Engines. The zero value is the VM so existing constructors get the
+// fast path without opting in.
+const (
+	// EngineVM compiles the program to typed closures over unboxed
+	// slot storage at New time and runs those (see docs/interpreter.md).
+	EngineVM Engine = iota
+	// EngineAST walks the tree directly: the executable specification
+	// the VM is differentially tested against.
+	EngineAST
+)
+
+func (e Engine) String() string {
+	if e == EngineAST {
+		return "ast"
+	}
+	return "vm"
+}
+
+// ParseEngine parses an -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "vm":
+		return EngineVM, nil
+	case "ast":
+		return EngineAST, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (want vm or ast)", s)
+	}
 }
 
 // Result summarizes a completed run.
@@ -123,7 +166,9 @@ type frame struct {
 }
 
 // Interp executes one program. An Interp is single-use: construct, Run,
-// then inspect globals.
+// then inspect globals. Under the default EngineVM the tree-walking
+// fields stay idle and vmr carries the compiled program; the public
+// surface (Run, Cycles, Global*) is engine-agnostic.
 type Interp struct {
 	prog    *ft.Program
 	cfg     Config
@@ -133,6 +178,7 @@ type Interp struct {
 	globals [][]Value
 	timers  *gptl.Timers
 	stdout  io.Writer
+	vmr     *vm
 
 	vecFactor float64 // current pricing multiplier (vectorized loops)
 	depth     int
@@ -183,6 +229,10 @@ func New(prog *ft.Program, cfg Config) (*Interp, error) {
 		procCasts: make(map[string]float64),
 		nrec:      cfg.Numerics,
 	}
+	if cfg.Engine == EngineVM {
+		i.vmr = newVM(prog, &i.cfg, cfg.Model, an)
+		return i, nil
+	}
 	if cfg.Profile {
 		// Timer overhead is charged in invoke() for non-inlined calls
 		// only: inlined procedures get free cost *attribution* (a
@@ -194,6 +244,9 @@ func New(prog *ft.Program, cfg Config) (*Interp, error) {
 
 // Run initializes module storage and executes the main program.
 func (i *Interp) Run() (*Result, error) {
+	if i.vmr != nil {
+		return i.vmr.run()
+	}
 	if err := i.initModules(); err != nil {
 		return i.result(), err
 	}
@@ -217,7 +270,12 @@ func (i *Interp) result() *Result {
 }
 
 // Cycles returns the simulated cycles consumed so far.
-func (i *Interp) Cycles() float64 { return i.cycles }
+func (i *Interp) Cycles() float64 {
+	if i.vmr != nil {
+		return i.vmr.cycles
+	}
+	return i.cycles
+}
 
 // Global returns the value of a module variable by qualified name
 // ("module.var"), used by model harnesses to read output time series.
@@ -225,6 +283,9 @@ func (i *Interp) Global(qname string) (Value, bool) {
 	for _, m := range i.prog.Modules {
 		for _, d := range m.Decls {
 			if d.QName() == qname {
+				if i.vmr != nil {
+					return i.vmr.globalValue(m, d), true
+				}
 				return i.globals[m.Index][d.Slot], true
 			}
 		}
@@ -393,7 +454,7 @@ func (i *Interp) cast(n int64) {
 }
 
 func (i *Interp) checkBudget(pos ft.Pos) error {
-	if i.cfg.CycleBudget > 0 && i.cycles > i.cfg.CycleBudget {
+	if i.cfg.CycleBudget > 0 && i.cycles >= i.cfg.CycleBudget {
 		return &RunError{Pos: pos, Kind: FailTimeout,
 			Msg: fmt.Sprintf("exceeded %.0f cycles", i.cfg.CycleBudget)}
 	}

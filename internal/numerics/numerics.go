@@ -87,6 +87,10 @@ type NonFiniteEvent struct {
 type Recorder struct {
 	file       string
 	cancelBits float64
+	// cancelGuard = 2^(cancelBits-1): an add/sub whose magnitude collapse
+	// ratio is below this is provably under the threshold (with a full
+	// bit of margin over log rounding), so cancel() can skip the Log2.
+	cancelGuard float64
 
 	stmts   map[StmtKey]*stmtStats
 	atoms   map[string]*atomStats
@@ -106,10 +110,11 @@ func NewRecorder(file string, o Options) *Recorder {
 		cb = DefaultCancelBits
 	}
 	return &Recorder{
-		file:       file,
-		cancelBits: cb,
-		stmts:      make(map[StmtKey]*stmtStats),
-		atoms:      make(map[string]*atomStats),
+		file:        file,
+		cancelBits:  cb,
+		cancelGuard: math.Exp2(cb - 1),
+		stmts:       make(map[StmtKey]*stmtStats),
+		atoms:       make(map[string]*atomStats),
 	}
 }
 
@@ -175,14 +180,23 @@ func relErr(a, b float64) float64 {
 	if !finite(a) || !finite(b) {
 		return 0
 	}
-	den := math.Max(math.Abs(a), math.Abs(b))
+	// Hand-rolled max: a and b are finite here, so math.Max's NaN/±0
+	// handling buys nothing and its call shows up in op-rate profiles.
+	den := math.Abs(a)
+	if bb := math.Abs(b); bb > den {
+		den = bb
+	}
 	if den == 0 {
 		return 0
 	}
 	return math.Abs(a-b) / den
 }
 
-func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+// finite reports v is neither NaN nor ±Inf: one exponent-field test
+// instead of IsNaN+IsInf (this runs for every recorded operation).
+func finite(v float64) bool {
+	return math.Float64bits(v)&0x7ff0000000000000 != 0x7ff0000000000000
+}
 
 // Op records one binary arithmetic operation: x op y in the primary
 // (mixed-precision) lane produced res, the same operation on the
@@ -194,10 +208,21 @@ func (r *Recorder) Op(proc string, line int, op byte, x, y, xs, ys, res, exact, 
 	if r == nil {
 		return
 	}
+	r.opAt(r.stmt(proc, line), proc, line, op, x, y, xs, ys, res, exact, shadow)
+}
+
+// opAt is the keyed-path op core. Site.Op open-codes this body — keep
+// them in lockstep.
+func (r *Recorder) opAt(st *stmtStats, proc string, line int, op byte, x, y, xs, ys, res, exact, shadow float64) {
 	r.ops++
-	st := r.stmt(proc, line)
 	st.ops++
-	r.note(st, relErr(res, exact), relErr(res, shadow))
+	// When all three lanes agree, local and div are both zero and note
+	// is an arithmetic no-op — skip it (and both relErr calls). This is
+	// every op of a full-precision baseline run. NaN lanes fail the
+	// equality and fall through to relErr, which treats them as 0.
+	if res != exact || res != shadow {
+		r.note(st, relErr(res, exact), relErr(res, shadow))
+	}
 	if op == '+' || op == '-' {
 		r.cancel(st, x, y, xs, ys, res, exact)
 	}
@@ -213,10 +238,17 @@ func (r *Recorder) Intrinsic(proc string, line int, name string, x, res, exact, 
 	if r == nil {
 		return
 	}
+	r.intrinsicAt(r.stmt(proc, line), proc, line, name, x, res, exact, shadow)
+}
+
+// intrinsicAt is the keyed-path intrinsic core. Site.Intrinsic
+// open-codes this body — keep them in lockstep.
+func (r *Recorder) intrinsicAt(st *stmtStats, proc string, line int, name string, x, res, exact, shadow float64) {
 	r.ops++
-	st := r.stmt(proc, line)
 	st.ops++
-	r.note(st, relErr(res, exact), relErr(res, shadow))
+	if res != exact || res != shadow {
+		r.note(st, relErr(res, exact), relErr(res, shadow))
+	}
 	if !finite(res) && finite(x) {
 		r.bornNonFinite(st, proc, line, name, shadow)
 	}
@@ -236,8 +268,12 @@ func (r *Recorder) note(st *stmtStats, local, div float64) {
 	if div > r.maxDiv {
 		r.maxDiv = div
 	}
-	if t := r.target(); t != "" && local > 0 {
-		r.atom(t).roundSum += local
+	if local > 0 {
+		// Target peek only when there is error to attribute: local == 0
+		// is the overwhelming case in a well-conditioned run.
+		if t := r.target(); t != "" {
+			r.atom(t).roundSum += local
+		}
 	}
 }
 
@@ -251,11 +287,25 @@ func (r *Recorder) cancel(st *stmtStats, x, y, xs, ys, res, exact float64) {
 	if !finite(x) || !finite(y) {
 		return
 	}
-	mag := math.Max(math.Abs(x), math.Abs(y))
+	mag := math.Abs(x)
+	if ay := math.Abs(y); ay > mag {
+		mag = ay
+	}
 	if mag == 0 {
 		return
 	}
-	den := math.Max(math.Abs(res), math.Abs(exact))
+	den := math.Abs(res)
+	if ae := math.Abs(exact); ae > den {
+		den = ae
+	}
+	if den > 0 && mag < den*r.cancelGuard {
+		// Collapse ratio below 2^(cancelBits-1): bits would come out
+		// under the threshold, proven by a multiply instead of a log.
+		// The spare bit of margin keeps the cutoff decision identical
+		// to the Log2 comparison below. This is the common case — most
+		// adds don't cancel — so it carries the per-op cost.
+		return
+	}
 	bits := maxCancelBits
 	if den > 0 {
 		bits = math.Log2(mag / den)
@@ -293,18 +343,29 @@ func (r *Recorder) Assign(proc string, line int, atom string, primary, shadow, s
 	if r == nil {
 		return
 	}
-	st := r.stmt(proc, line)
+	r.assignAt(r.stmt(proc, line), nil, atom, proc, line, primary, shadow, stored)
+}
+
+// assignAt is the keyed-path assign core; at may be a pre-resolved
+// accumulator for the atom. Site.Assign open-codes this body — keep
+// them in lockstep.
+func (r *Recorder) assignAt(st *stmtStats, at *atomStats, atom, proc string, line int, primary, shadow, stored float64) {
 	st.assigns++
-	local := relErr(primary, stored)
-	div := relErr(primary, shadow)
-	r.note(st, local, div)
+	var local, div float64
+	if primary != stored || primary != shadow {
+		local = relErr(primary, stored)
+		div = relErr(primary, shadow)
+		r.note(st, local, div)
+	}
 	if !finite(primary) && r.firstNF == nil {
 		r.bornNonFinite(st, proc, line, "=", shadow)
 	}
 	if atom == "" {
 		return
 	}
-	at := r.atom(atom)
+	if at == nil {
+		at = r.atom(atom)
+	}
 	at.assigns++
 	at.roundSum += local
 	at.divSum += div
@@ -344,4 +405,137 @@ func (r *Recorder) bornNonFinite(st *stmtStats, proc string, line int, op string
 			ShadowFinite: finite(shadow),
 		}
 	}
+}
+
+// Site is a per-callsite handle onto the recorder: a compiled engine
+// that knows its (proc, line) — and, for assignments, the target atom —
+// at compile time resolves the accumulators once instead of paying two
+// map lookups per recorded event. Aggregation is byte-identical to the
+// keyed Recorder methods (both run the same cores); the statement and
+// atom map entries are still created lazily at the first recorded
+// event, so a profile never grows entries for never-executed sites.
+// A nil *Site is a no-op, mirroring the nil *Recorder contract.
+type Site struct {
+	r    *Recorder
+	key  StmtKey
+	atom string
+	st   *stmtStats
+	at   *atomStats
+}
+
+// Site returns a callsite handle for one statement. Returns nil on a
+// nil Recorder.
+func (r *Recorder) Site(proc string, line int) *Site {
+	if r == nil {
+		return nil
+	}
+	return &Site{r: r, key: StmtKey{Proc: proc, Line: line}}
+}
+
+// AssignSite returns a callsite handle for an assignment to the given
+// atom ("" for non-atom targets).
+func (r *Recorder) AssignSite(proc string, line int, atom string) *Site {
+	if r == nil {
+		return nil
+	}
+	return &Site{r: r, key: StmtKey{Proc: proc, Line: line}, atom: atom}
+}
+
+func (s *Site) stats() *stmtStats {
+	if s.st == nil {
+		s.st = s.r.stmt(s.key.Proc, s.key.Line)
+	}
+	return s.st
+}
+
+// Op is Recorder.Op at this site. The body mirrors opAt statement for
+// statement (keep them in lockstep — the engine differential tests
+// compare profiles across the two paths); it is open-coded here because
+// this is the per-operation hot path of every instrumented run and the
+// extra call frame with its eleven arguments is measurable.
+func (s *Site) Op(op byte, x, y, xs, ys, res, exact, shadow float64) {
+	if s == nil {
+		return
+	}
+	r, st := s.r, s.stats()
+	r.ops++
+	st.ops++
+	if res != exact || res != shadow {
+		r.note(st, relErr(res, exact), relErr(res, shadow))
+	}
+	if op == '+' || op == '-' {
+		r.cancel(st, x, y, xs, ys, res, exact)
+	}
+	if !finite(res) && finite(x) && finite(y) {
+		r.bornNonFinite(st, s.key.Proc, s.key.Line, string(rune(op)), shadow)
+	}
+}
+
+// Intrinsic is Recorder.Intrinsic at this site (mirrors intrinsicAt,
+// open-coded for the same reason as Op).
+func (s *Site) Intrinsic(name string, x, res, exact, shadow float64) {
+	if s == nil {
+		return
+	}
+	r, st := s.r, s.stats()
+	r.ops++
+	st.ops++
+	if res != exact || res != shadow {
+		r.note(st, relErr(res, exact), relErr(res, shadow))
+	}
+	if !finite(res) && finite(x) {
+		r.bornNonFinite(st, s.key.Proc, s.key.Line, name, shadow)
+	}
+}
+
+// Assign is Recorder.Assign at this site (the atom was fixed at site
+// construction; mirrors assignAt, open-coded for the same reason as
+// Op).
+func (s *Site) Assign(primary, shadow, stored float64) {
+	if s == nil {
+		return
+	}
+	r, st := s.r, s.stats()
+	st.assigns++
+	var local, div float64
+	if primary != stored || primary != shadow {
+		local = relErr(primary, stored)
+		div = relErr(primary, shadow)
+		r.note(st, local, div)
+	}
+	if !finite(primary) && r.firstNF == nil {
+		r.bornNonFinite(st, s.key.Proc, s.key.Line, "=", shadow)
+	}
+	if s.atom == "" {
+		return
+	}
+	at := s.at
+	if at == nil {
+		at = r.atom(s.atom)
+		s.at = at
+	}
+	at.assigns++
+	at.roundSum += local
+	at.divSum += div
+	if div > at.maxDiv {
+		at.maxDiv = div
+	}
+}
+
+// Branch is Recorder.Branch at this site.
+func (s *Site) Branch() {
+	if s == nil {
+		return
+	}
+	s.r.branches++
+	s.stats().branches++
+}
+
+// Discretize is Recorder.Discretize at this site.
+func (s *Site) Discretize(primary, shadow int64) {
+	if s == nil || primary == shadow {
+		return
+	}
+	s.r.discrete++
+	s.stats().discrete++
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMain lets this test binary stand in for the prose executable when
+// `cmdTune -workers` spawns workers: the coordinator re-execs
+// os.Executable() — the test binary — with "worker" argv and
+// PROSE_FLEET_WORKER=1 in the environment, and this hook routes that
+// invocation into the real cmdWorker.
+func TestMain(m *testing.M) {
+	if os.Getenv("PROSE_FLEET_WORKER") == "1" && len(os.Args) > 1 && os.Args[1] == "worker" {
+		if err := cmdWorker(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "prose worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestTuneWorkersJournalMatchesInProcess runs the full CLI path: `tune
+// -workers 2` with injected worker kills must write the same journal
+// bytes as the plain in-process tune.
+func TestTuneWorkersJournalMatchesInProcess(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.jsonl")
+	if err := cmdTune([]string{"-model", "funarc", "-journal", ref}); err != nil {
+		t.Fatalf("in-process tune: %v", err)
+	}
+	fleetPath := filepath.Join(dir, "fleet.jsonl")
+	if err := cmdTune([]string{"-model", "funarc", "-journal", fleetPath,
+		"-workers", "2", "-fleet-kill-rate", "0.15", "-fleet-fault-seed", "7"}); err != nil {
+		t.Fatalf("fleet tune: %v", err)
+	}
+	a, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(fleetPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("fleet journal differs from in-process journal")
+	}
+	// The fleet trail must be inspectable after the fact.
+	if err := cmdJournal([]string{fleetPath}); err != nil {
+		t.Fatalf("journal summary: %v", err)
+	}
+}

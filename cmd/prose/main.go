@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/blame"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	ft "repro/internal/fortran"
 	"repro/internal/gptl"
 	"repro/internal/interp"
@@ -89,6 +90,8 @@ func main() {
 		err = cmdAtoms(os.Args[2:])
 	case "tune":
 		err = cmdTune(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
 	case "variant":
 		err = cmdVariant(os.Args[2:])
 	case "reduce":
@@ -122,6 +125,8 @@ commands:
   baseline   profile a model baseline (hotspot share, per-procedure times)
   atoms      list a model's search atoms (tunable FP declarations)
   tune       run the delta-debugging precision-tuning search
+  worker     serve evaluations to a tune -workers coordinator (spawned, not
+             usually run by hand)
   variant    apply a precision assignment and print the generated source
   reduce     taint-based program reduction for target variables (paper III-C)
   blame      one-at-a-time precision sensitivity ranking (ADAPT-style)
@@ -225,6 +230,14 @@ func cmdTune(args []string) error {
 	progressEvery := fs.Duration("progress", 0, "print a live progress heartbeat to stderr at this interval (0 = off)")
 	numericsOn := fs.Bool("numerics", false, "shadow-execute every variant and attach numeric_* diagnostics to spans and metrics (diagnostic only: journal bytes unchanged)")
 	engineName := fs.String("engine", "vm", "interpreter engine: vm (closure-compiled, default) or ast (reference tree-walker); bit-identical results either way")
+	workers := fs.Int("workers", 0, "shard variant evaluation across N 'prose worker' subprocesses (0 = in-process); worker crashes become supervised retries and the journal stays byte-identical")
+	leaseTTL := fs.Duration("lease-ttl", fleet.DefaultLeaseTTL, "fleet: wall-clock budget per leased evaluation; an expired lease is failed as a hang fault and reassigned")
+	workerHeartbeat := fs.Duration("worker-heartbeat", fleet.DefaultHeartbeat, "fleet: worker heartbeat interval (a silent worker is declared lost and replaced)")
+	workerRestarts := fs.Int("worker-restarts", fleet.DefaultMaxRestarts, "fleet: respawns per worker slot before it is retired")
+	minWorkers := fs.Int("min-workers", 1, "fleet: live-worker floor; below it the coordinator degrades to in-process evaluation (surfaced in the events sidecar, never silent)")
+	fleetKillRate := fs.Float64("fleet-kill-rate", 0, "fault injection: each worker SIGKILLs itself before evaluating with this probability per (key, attempt), deterministic in -fleet-fault-seed")
+	fleetFaultSeed := fs.Int64("fleet-fault-seed", 1, "fault injection: seed for -fleet-kill-rate decisions")
+	fleetWedgeKey := fs.String("fleet-wedge-key", "", "fault injection: the worker leased this assignment key wedges (stops heartbeating) on its first attempt")
 	verbose := fs.Bool("v", false, "print each variant as it is evaluated")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -293,13 +306,70 @@ func cmdTune(args []string) error {
 		stopSignals()
 	}()
 
+	// -workers: build the worker fleet. The subprocesses are this very
+	// binary running `prose worker` with the flags that shape the
+	// evaluation stream (model, seed, whole-model, budget, engine); a
+	// fingerprint handshake at spawn rejects any drift. Fleet knobs, like
+	// parallelism, are not fingerprinted — the journal is byte-identical
+	// at any pool size.
+	var coord *fleet.Coordinator
+	if *workers > 0 {
+		if opts.Parallelism < *workers {
+			// Fewer search slots than workers would leave workers idle.
+			opts.Parallelism = *workers
+		}
+		exe, xerr := os.Executable()
+		if xerr != nil {
+			return fmt.Errorf("tune: -workers: %w", xerr)
+		}
+		wargs := []string{"worker",
+			"-model", m.Name,
+			fmt.Sprintf("-seed=%d", *seed),
+			fmt.Sprintf("-budget=%d", *budget),
+			"-engine", *engineName,
+			fmt.Sprintf("-heartbeat=%s", *workerHeartbeat),
+		}
+		if *whole {
+			wargs = append(wargs, "-whole-model")
+		}
+		if *fleetKillRate > 0 {
+			wargs = append(wargs,
+				fmt.Sprintf("-fault-kill-rate=%g", *fleetKillRate),
+				fmt.Sprintf("-fault-seed=%d", *fleetFaultSeed))
+		}
+		if *fleetWedgeKey != "" {
+			wargs = append(wargs, "-fault-wedge-key", *fleetWedgeKey)
+		}
+		coord, err = fleet.New(fleet.Config{
+			Workers:     *workers,
+			Spawn:       fleet.Command(exe, wargs...),
+			LeaseTTL:    *leaseTTL,
+			Heartbeat:   *workerHeartbeat,
+			MaxRestarts: *workerRestarts,
+			MinWorkers:  *minWorkers,
+			OnEvent: func(e fleet.Event) {
+				if e.Type == fleet.EventDegraded {
+					fmt.Fprintf(os.Stderr, "prose: fleet degraded to in-process evaluation: %s\n", e.Detail)
+				}
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("tune: %w", err)
+		}
+		opts.Fleet = coord
+	}
+
 	t, err := core.New(m, opts)
 	if err != nil {
 		return err
 	}
 
 	if *debugAddr != "" {
-		dbg, derr := obs.ServeDebug(*debugAddr, opts.Metrics)
+		var extras []obs.DebugHandler
+		if coord != nil {
+			extras = append(extras, obs.DebugHandler{Pattern: "/debug/fleet", Handler: coord.DebugHandler()})
+		}
+		dbg, derr := obs.ServeDebug(*debugAddr, opts.Metrics, extras...)
 		if derr != nil {
 			return fmt.Errorf("tune: -debug-addr: %w", derr)
 		}
@@ -610,6 +680,18 @@ func cmdJournal(args []string) error {
 	if n := byType[journal.EventCancelled]; n > 0 {
 		fmt.Printf("  cancelled: %d orderly shutdown(s) recorded\n", n)
 	}
+	if n := byType[fleet.EventLeaseGrant]; n > 0 {
+		fmt.Printf("  fleet: %d lease(s) granted, %d expired, %d late result(s) dropped\n",
+			n, byType[fleet.EventLeaseExpired], byType[fleet.EventLateResult])
+		deaths := byType[fleet.EventWorkerExit] + byType[fleet.EventWorkerLost]
+		if deaths+byType[fleet.EventWorkerRestart]+byType[fleet.EventWorkerDead] > 0 {
+			fmt.Printf("  fleet workers: %d death(s), %d restart(s), %d retired\n",
+				deaths, byType[fleet.EventWorkerRestart], byType[fleet.EventWorkerDead])
+		}
+		if n := byType[fleet.EventDegraded]; n > 0 {
+			fmt.Printf("  fleet DEGRADED to in-process evaluation (%d transition(s))\n", n)
+		}
+	}
 	return nil
 }
 
@@ -670,6 +752,16 @@ func journalJSON(path string, records bool) error {
 				dump.Metrics[obs.MetricQuarantined]++
 			case journal.EventSalvaged:
 				dump.Metrics[obs.MetricSalvaged]++
+			case fleet.EventLeaseGrant:
+				dump.Metrics[obs.MetricFleetLeases]++
+			case fleet.EventLeaseExpired:
+				dump.Metrics[obs.MetricFleetLeaseExpired]++
+			case fleet.EventLateResult:
+				dump.Metrics[obs.MetricFleetLateResults]++
+			case fleet.EventWorkerExit, fleet.EventWorkerLost:
+				dump.Metrics[obs.MetricFleetWorkerExits]++
+			case fleet.EventWorkerRestart:
+				dump.Metrics[obs.MetricFleetRestarts]++
 			}
 		}
 	}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/interp"
+)
+
+// cmdWorker serves evaluations to a `prose tune -workers N` coordinator
+// over stdin/stdout. It is spawned by the coordinator, not usually run
+// by hand: stdin carries lease messages, stdout carries heartbeats and
+// results, stderr passes through for diagnostics.
+//
+// The flags that shape the evaluation stream (model, seed, whole-model,
+// budget, engine) must match the coordinator's; the fingerprint
+// handshake at startup rejects any drift. The -fault-* flags are fault
+// injection for the fleet's own tests and smoke runs.
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	name := modelFlag(fs)
+	whole := fs.Bool("whole-model", false, "guide the search by whole-model time (must match the coordinator)")
+	seed := fs.Int64("seed", 1, "seed for the Eq. (1) runtime-noise model (must match the coordinator)")
+	budget := fs.Int("budget", 0, "max distinct variant evaluations (must match the coordinator)")
+	engineName := fs.String("engine", "vm", "interpreter engine (must match the coordinator)")
+	heartbeat := fs.Duration("heartbeat", fleet.DefaultHeartbeat, "heartbeat interval while evaluating")
+	killRate := fs.Float64("fault-kill-rate", 0, "fault injection: SIGKILL self before evaluating with this probability per (key, attempt)")
+	faultSeed := fs.Int64("fault-seed", 1, "fault injection: seed for -fault-kill-rate decisions")
+	crashKey := fs.String("fault-crash-key", "", "fault injection: SIGKILL self when leased this assignment key")
+	wedgeKey := fs.String("fault-wedge-key", "", "fault injection: wedge (stop heartbeating) on this key's first attempt")
+	slowKey := fs.String("fault-slow-key", "", "fault injection: delay the result for this key's first attempt by -fault-slow")
+	slow := fs.Duration("fault-slow", 0, "fault injection: delay applied with -fault-slow-key")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engine, err := interp.ParseEngine(*engineName)
+	if err != nil {
+		return fmt.Errorf("worker: %w", err)
+	}
+	m, err := getModel(*name)
+	if err != nil {
+		return err
+	}
+	// The coordinator owns this process's lifetime: a ^C at the
+	// terminal reaches the whole process group, but the orderly path is
+	// the coordinator's shutdown message (or it killing us), not the
+	// worker racing it to exit mid-lease.
+	signal.Ignore(os.Interrupt, syscall.SIGTERM)
+	t, err := core.New(m, core.Options{
+		Seed: *seed, WholeModel: *whole, MaxEvaluations: *budget, Engine: engine,
+	})
+	if err != nil {
+		return err
+	}
+	return fleet.Serve(fleet.ServeConfig{
+		Transport:   fleet.NewPipeTransport(os.Stdin, os.Stdout),
+		Eval:        t,
+		Fingerprint: t.Fingerprint(),
+		Heartbeat:   *heartbeat,
+		Fault: fleet.WorkerFaults{
+			KillRate: *killRate,
+			Seed:     *faultSeed,
+			CrashKey: *crashKey,
+			WedgeKey: *wedgeKey,
+			SlowKey:  *slowKey,
+			Slow:     *slow,
+		},
+	})
+}

@@ -99,6 +99,14 @@ func (r *Result) Render() string {
 	if r.Salvaged > 0 {
 		fmt.Fprintf(&sb, "  salvaged: %d evaluation(s) recovered from the aborted prior run's sidecar\n", r.Salvaged)
 	}
+	if st := r.Fleet; st != nil {
+		fmt.Fprintf(&sb, "  fleet: %d worker(s) (%d alive at end), %d lease(s), %d expired, %d late result(s) dropped, %d worker death(s), %d restart(s)\n",
+			st.Workers, st.Alive, st.Leases, st.Expired, st.Late, st.Exits, st.Restarts)
+		if st.Degraded {
+			fmt.Fprintf(&sb, "  fleet DEGRADED to in-process evaluation (%d local eval(s)): %s\n",
+				st.LocalEvals, st.DegradeDetail)
+		}
+	}
 	if r.Aborted != nil {
 		fmt.Fprintf(&sb, "  PARTIAL RESULT: search aborted early — %s\n", r.Aborted.Reason)
 	}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fleet"
 	ft "repro/internal/fortran"
 	"repro/internal/gptl"
 	"repro/internal/interp"
@@ -154,13 +155,37 @@ type Options struct {
 	// recorded under one engine resumes byte-identically under the other
 	// (test-enforced by TestEngineJournalByteIdentity).
 	Engine interp.Engine
+
+	// Fleet, if non-nil, shards every variant evaluation across this
+	// coordinator's worker subprocesses instead of running it in-process.
+	// The tuner starts the coordinator when Run begins (handing it the
+	// in-process evaluator as the degrade fallback and the run
+	// fingerprint for the worker handshake) and closes it before Run
+	// returns. Worker deaths, missed heartbeats, and expired leases
+	// surface as transient infrastructure faults to the resilience
+	// supervisor — a fleet run always supervises, and when no retry knob
+	// is set it gets DefaultFleetRetries with the per-kind defaults — so
+	// a lease reassignment is just a supervised retry. Like Parallelism,
+	// the fleet is not fingerprinted: workers reproduce the
+	// coordinator's evaluations bit for bit, so the journal is
+	// byte-identical at any pool size, worker crashes included
+	// (test-enforced by TestFleetJournalByteIdentity). ProcVariants
+	// (Fig. 6) stays empty in fleet mode: per-procedure points are
+	// accumulated inside each worker's tuner and are not shipped back.
+	Fleet *fleet.Coordinator
 }
+
+// DefaultFleetRetries is the retry base a fleet run uses when no
+// explicit retry knob is set: killed workers are routine, so the leases
+// they held must be reassigned a few times before anyone concludes an
+// assignment is poisoned.
+const DefaultFleetRetries = 3
 
 // supervising reports whether any resilience knob enables the
 // supervisor.
 func (o Options) supervising() bool {
 	return o.Retries > 0 || o.FailFast || o.Breaker > 0 || o.MaxQuarantined > 0 ||
-		o.Watchdog > 0 || len(o.RetriesByClass) > 0
+		o.Watchdog > 0 || len(o.RetriesByClass) > 0 || o.Fleet != nil
 }
 
 // Baseline summarizes the instrumented baseline run (Table I data).
@@ -222,6 +247,9 @@ type Result struct {
 	// Metrics is the final snapshot of Options.Metrics (nil when the run
 	// collected no metrics); Render embeds it in the report.
 	Metrics *obs.Snapshot
+	// Fleet snapshots the worker-fleet counters (nil when the run did
+	// not shard evaluations across worker subprocesses).
+	Fleet *fleet.Stats
 }
 
 // Tuner runs the full tuning cycle for one model.
@@ -940,6 +968,37 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 	if t.opts.WrapEvaluator != nil {
 		evaluator = t.opts.WrapEvaluator(evaluator)
 	}
+	if coord := t.opts.Fleet; coord != nil {
+		rt := fleet.Runtime{
+			// The wrapped in-process evaluator is the degrade fallback, so
+			// a collapsed pool changes where evaluations run but never what
+			// they compute.
+			Local:       evaluator,
+			Fingerprint: t.Fingerprint(),
+			Metrics:     t.opts.Metrics,
+		}
+		if events != nil {
+			ev := events
+			rt.OnEvent = func(e fleet.Event) {
+				// Fleet events are telemetry, not resume state (the
+				// resume-critical quarantine/salvage records travel the
+				// supervisor path below with journalAbort semantics), and
+				// they fire on coordinator goroutines where a panic would
+				// not unwind the search — so appends are best-effort.
+				rec := journal.EventRecord{
+					Type: e.Type, AKey: e.Key, Attempt: e.Attempt,
+					Fault: e.Detail, Kind: e.Kind,
+				}
+				rec.SetWorker(e.Worker)
+				_ = ev.Append(rec)
+			}
+		}
+		if err := coord.Start(t.runCtx, rt); err != nil {
+			return nil, err
+		}
+		defer coord.Close()
+		evaluator = coord
+	}
 	var sup *resilience.Supervised
 	if supervising {
 		breaker := t.opts.Breaker
@@ -956,6 +1015,13 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 			MaxQuarantined: t.opts.MaxQuarantined,
 			Backoff:        resilience.Backoff{Base: t.opts.RetryBackoff, Seed: t.opts.Seed},
 			Metrics:        t.opts.Metrics,
+		}
+		if t.opts.Fleet != nil && t.opts.Retries == 0 && len(t.opts.RetriesByClass) == 0 {
+			// A fleet with no retry budget would quarantine an assignment
+			// on its first worker death; give it the standard per-kind
+			// budgets so routine kills become lease reassignments.
+			sup.MaxRetries = DefaultFleetRetries
+			sup.RetriesByKind = resilience.DefaultRetryBudgets(DefaultFleetRetries)
 		}
 		if events != nil {
 			ev := events
@@ -1035,6 +1101,17 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 		}
 	}
 
+	// Settle the fleet before snapshotting anything: Close is idempotent
+	// (the deferred Close becomes a no-op), and waiting for the worker
+	// loops here makes the Stats and Metrics snapshots final — late
+	// results and restarts in flight at search end are counted.
+	var fleetStats *fleet.Stats
+	if coord := t.opts.Fleet; coord != nil {
+		coord.Close()
+		st := coord.Stats()
+		fleetStats = &st
+	}
+
 	result := &Result{
 		Model:        t.model,
 		Options:      t.opts,
@@ -1046,6 +1123,7 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 		Salvaged:     salvaged,
 		Aborted:      abortErr,
 		Cancelled:    cancelErr,
+		Fleet:        fleetStats,
 	}
 	if sup != nil {
 		st := sup.Stats()

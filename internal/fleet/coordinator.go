@@ -1,0 +1,884 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/search"
+	"repro/internal/transform"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultLeaseTTL        = time.Minute
+	DefaultHeartbeat       = 250 * time.Millisecond
+	DefaultHeartbeatMisses = 4
+	DefaultMaxRestarts     = 3
+	DefaultRestartBackoff  = 200 * time.Millisecond
+	DefaultReadyTimeout    = 30 * time.Second
+)
+
+// Fleet event types, recorded in the journal's events sidecar (with
+// the coordinator's worker ID) and counted by `prose journal`. Like
+// resilience events they are strictly out-of-band telemetry: the
+// evaluation journal of a tune that survived worker deaths is
+// byte-identical to a fault-free run's.
+const (
+	// EventLeaseGrant: one evaluation was leased to a worker.
+	EventLeaseGrant = "lease_grant"
+	// EventLeaseExpired: a lease passed its deadline and was failed for
+	// reassignment (the supervisor's retry resubmits it).
+	EventLeaseExpired = "lease_expired"
+	// EventLateResult: a completion arrived for a lease that had already
+	// expired and been reassigned; it was dropped, keeping journal
+	// appends exactly-once.
+	EventLateResult = "late_result"
+	// EventWorkerExit: a worker process died (EOF on its pipe) — a
+	// SIGKILL, OOM kill, or crash.
+	EventWorkerExit = "worker_exit"
+	// EventWorkerLost: a worker went silent (missed heartbeats) and was
+	// killed.
+	EventWorkerLost = "worker_lost"
+	// EventWorkerRestart: a dead worker slot respawned its process.
+	EventWorkerRestart = "worker_restart"
+	// EventWorkerDead: a worker slot was retired permanently (restart
+	// budget exhausted, spawn failure, or fingerprint mismatch).
+	EventWorkerDead = "worker_dead"
+	// EventDegraded: live capacity fell below MinWorkers; the
+	// coordinator switched — stickily, and never silently — to
+	// in-process evaluation.
+	EventDegraded = "degraded_to_local"
+	// EventFingerprintMismatch: a worker's handshake fingerprint did not
+	// match the coordinator's; it was retired before receiving any
+	// lease, because its evaluations would not reproduce the journal.
+	EventFingerprintMismatch = "fingerprint_mismatch"
+)
+
+// Event is one observable fleet decision, bridged by the tuner into the
+// journal's events sidecar and surfaced through obs metrics.
+type Event struct {
+	Type string
+	// Worker is the coordinator's worker slot ID.
+	Worker int
+	// Key is the canonical assignment key the event concerns, if any.
+	Key string
+	// Attempt is the per-key attempt number of the lease, if any.
+	Attempt int
+	// Kind is the resilience fault class attributed to the event.
+	Kind string
+	// Detail is the human-readable cause.
+	Detail string
+}
+
+// Process is the coordinator's handle on one worker subprocess.
+type Process interface {
+	// Kill terminates the process immediately (SIGKILL).
+	Kill() error
+	// Wait reaps the process after it exits.
+	Wait() error
+	// Pid identifies the process for health reporting.
+	Pid() int
+}
+
+// SpawnFunc launches worker number id and returns its transport and
+// process handle.
+type SpawnFunc func(id int) (Transport, Process, error)
+
+// Command returns a SpawnFunc that launches `name args...` with the
+// worker protocol on its stdin/stdout, stderr passed through, and
+// PROSE_FLEET_WORKER=1 / PROSE_FLEET_WORKER_ID in its environment.
+func Command(name string, args ...string) SpawnFunc {
+	return func(id int) (Transport, Process, error) {
+		cmd := exec.Command(name, args...)
+		cmd.Stderr = os.Stderr
+		cmd.Env = append(os.Environ(),
+			"PROSE_FLEET_WORKER=1",
+			fmt.Sprintf("PROSE_FLEET_WORKER_ID=%d", id))
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, nil, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, nil, err
+		}
+		return NewPipeTransport(stdout, stdin), (*procHandle)(cmd), nil
+	}
+}
+
+type procHandle exec.Cmd
+
+func (p *procHandle) Kill() error {
+	if p.Process == nil {
+		return nil
+	}
+	return p.Process.Kill()
+}
+
+func (p *procHandle) Wait() error { return (*exec.Cmd)(p).Wait() }
+
+func (p *procHandle) Pid() int {
+	if p.Process == nil {
+		return 0
+	}
+	return p.Process.Pid
+}
+
+// Config shapes a worker fleet.
+type Config struct {
+	// Workers is the pool size (required, >= 1).
+	Workers int
+	// Spawn launches one worker (required).
+	Spawn SpawnFunc
+	// LeaseTTL bounds one evaluation's wall-clock time on a worker; an
+	// expired lease is failed as a hang fault and reassigned by the
+	// supervisor's retry.
+	LeaseTTL time.Duration
+	// Heartbeat is the interval workers are told to beat at (the
+	// coordinator checks for silence at HeartbeatMisses times this).
+	Heartbeat time.Duration
+	// HeartbeatMisses is how many consecutive silent intervals mark a
+	// worker lost.
+	HeartbeatMisses int
+	// MaxRestarts bounds respawns per worker slot; past it the slot is
+	// retired.
+	MaxRestarts int
+	// MinWorkers is the live-capacity floor: when fewer slots remain
+	// serviceable the coordinator degrades — stickily — to in-process
+	// evaluation (default 1).
+	MinWorkers int
+	// RestartBackoff is slept before each respawn.
+	RestartBackoff time.Duration
+	// ReadyTimeout bounds the spawn-to-handshake window (workers load
+	// the model and measure a baseline before reporting ready).
+	ReadyTimeout time.Duration
+	// LetExpiredFinish keeps a worker alive after its lease expires so
+	// its late result can arrive (and be dropped by the exactly-once
+	// dedup). The default kills it: an expired lease usually means a
+	// wedged evaluation, and a fresh process is the cure.
+	LetExpiredFinish bool
+	// OnEvent observes fleet events, in addition to Runtime.OnEvent.
+	OnEvent func(Event)
+}
+
+func (c *Config) withDefaults() {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = DefaultLeaseTTL
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = DefaultHeartbeat
+	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = DefaultHeartbeatMisses
+	}
+	if c.MaxRestarts <= 0 {
+		c.MaxRestarts = DefaultMaxRestarts
+	}
+	if c.MinWorkers <= 0 {
+		c.MinWorkers = 1
+	}
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = DefaultRestartBackoff
+	}
+	if c.ReadyTimeout <= 0 {
+		c.ReadyTimeout = DefaultReadyTimeout
+	}
+}
+
+// Runtime is what the tuner provides when the fleet starts: the
+// in-process fallback evaluator, the evaluation fingerprint workers
+// must reproduce, and the observability sinks.
+type Runtime struct {
+	// Local evaluates in-process after a degrade (required).
+	Local search.Evaluator
+	// Fingerprint is the evaluation fingerprint (required); a worker
+	// whose handshake disagrees is retired before its first lease.
+	Fingerprint string
+	// OnEvent bridges fleet events to the journal's events sidecar.
+	OnEvent func(Event)
+	// Metrics receives fleet counters and gauges (nil-safe).
+	Metrics *obs.Registry
+}
+
+// WorkerState is a worker slot's lifecycle position.
+type WorkerState int
+
+const (
+	StateSpawning WorkerState = iota
+	StateHandshake
+	StateIdle
+	StateBusy
+	StateDraining // lease expired with LetExpiredFinish; awaiting the stale frame
+	StateBackoff  // between death and respawn
+	StateStopped  // orderly shutdown
+	StateDead     // retired permanently
+)
+
+func (s WorkerState) String() string {
+	switch s {
+	case StateSpawning:
+		return "spawning"
+	case StateHandshake:
+		return "handshake"
+	case StateIdle:
+		return "idle"
+	case StateBusy:
+		return "busy"
+	case StateDraining:
+		return "draining"
+	case StateBackoff:
+		return "backoff"
+	case StateStopped:
+		return "stopped"
+	case StateDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("WorkerState(%d)", int(s))
+	}
+}
+
+// WorkerHealth is one worker slot's health snapshot, served by
+// DebugHandler on the -debug-addr server.
+type WorkerHealth struct {
+	ID         int    `json:"id"`
+	Pid        int    `json:"pid,omitempty"`
+	State      string `json:"state"`
+	Restarts   int    `json:"restarts"`
+	LeasesDone int64  `json:"leases_done"`
+	CurrentKey string `json:"current_key,omitempty"`
+	// HeartbeatAgeMS is milliseconds since the last heartbeat (or lease
+	// grant) while busy; -1 otherwise.
+	HeartbeatAgeMS int64  `json:"heartbeat_age_ms"`
+	LastFault      string `json:"last_fault,omitempty"`
+}
+
+// Stats is a snapshot of fleet counters for the run report.
+type Stats struct {
+	// Workers is the configured pool size.
+	Workers int
+	// Alive is the number of serviceable (non-retired) slots.
+	Alive int
+	// Leases is the number of leases granted.
+	Leases int64
+	// Expired is the number of leases that passed their deadline.
+	Expired int64
+	// Late is the number of stale completions dropped by the
+	// exactly-once dedup.
+	Late int64
+	// Exits is the number of worker process deaths (exit + lost).
+	Exits int64
+	// Restarts is the number of worker respawns.
+	Restarts int64
+	// LocalEvals is the number of evaluations answered in-process after
+	// a degrade.
+	LocalEvals int64
+	// Degraded reports whether the fleet fell below MinWorkers and
+	// switched to in-process evaluation.
+	Degraded bool
+	// DegradeDetail is the cause of the degrade.
+	DegradeDetail string
+}
+
+// slot is one worker slot's bookkeeping, guarded by Coordinator.mu.
+type slot struct {
+	id         int
+	pid        int
+	state      WorkerState
+	restarts   int
+	leasesDone int64
+	currentKey string
+	lastBeat   time.Time
+	lastFault  string
+}
+
+// Coordinator shards evaluations across a pool of worker subprocesses.
+// It implements search.Evaluator/SpanEvaluator: construct it with New,
+// hand it to core.Options.Fleet (which calls Start and Close around the
+// tune), and every Evaluate becomes a lease on the queue.
+type Coordinator struct {
+	cfg Config
+	rt  Runtime
+	q   *queue
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	// degradedCh closes once, when the fleet degrades to local.
+	degradedCh chan struct{}
+
+	mu       sync.Mutex
+	started  bool
+	slots    []*slot
+	attempts map[string]int
+	dead     int
+	procsUp  int
+	degraded bool
+	detail   string
+	st       Stats
+}
+
+// New validates the configuration and returns an unstarted Coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("fleet: Workers must be >= 1 (got %d)", cfg.Workers)
+	}
+	if cfg.Spawn == nil {
+		return nil, fmt.Errorf("fleet: Spawn is required")
+	}
+	cfg.withDefaults()
+	if cfg.MinWorkers > cfg.Workers {
+		return nil, fmt.Errorf("fleet: MinWorkers (%d) exceeds Workers (%d)", cfg.MinWorkers, cfg.Workers)
+	}
+	return &Coordinator{
+		cfg:        cfg,
+		q:          newQueue(),
+		degradedCh: make(chan struct{}),
+		attempts:   make(map[string]int),
+	}, nil
+}
+
+// Start spawns the worker pool. ctx bounds the fleet's lifetime (the
+// tuner passes its hard-cancellation context); Close stops it too.
+func (c *Coordinator) Start(ctx context.Context, rt Runtime) error {
+	if rt.Local == nil {
+		return fmt.Errorf("fleet: Runtime.Local is required")
+	}
+	if rt.Fingerprint == "" {
+		return fmt.Errorf("fleet: Runtime.Fingerprint is required")
+	}
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return fmt.Errorf("fleet: already started")
+	}
+	c.started = true
+	c.rt = rt
+	c.st.Workers = c.cfg.Workers
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.ctx, c.cancel = context.WithCancel(ctx)
+	for i := 0; i < c.cfg.Workers; i++ {
+		s := &slot{id: i, state: StateSpawning}
+		c.slots = append(c.slots, s)
+	}
+	slots := c.slots
+	c.mu.Unlock()
+	for _, s := range slots {
+		c.wg.Add(1)
+		go c.slotLoop(s)
+	}
+	return nil
+}
+
+// Close shuts the fleet down: workers receive a shutdown message (or
+// are killed if mid-lease) and are reaped. Idempotent.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	cancel := c.cancel
+	c.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the fleet counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.st
+	st.Alive = c.cfg.Workers - c.dead
+	st.Degraded = c.degraded
+	st.DegradeDetail = c.detail
+	return st
+}
+
+// Health snapshots every worker slot, sorted by ID.
+func (c *Coordinator) Health() []WorkerHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	out := make([]WorkerHealth, 0, len(c.slots))
+	for _, s := range c.slots {
+		h := WorkerHealth{
+			ID:         s.id,
+			Pid:        s.pid,
+			State:      s.state.String(),
+			Restarts:   s.restarts,
+			LeasesDone: s.leasesDone,
+			CurrentKey: s.currentKey,
+			LastFault:  s.lastFault,
+		}
+		h.HeartbeatAgeMS = -1
+		if (s.state == StateBusy || s.state == StateDraining) && !s.lastBeat.IsZero() {
+			h.HeartbeatAgeMS = now.Sub(s.lastBeat).Milliseconds()
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DebugHandler serves the fleet health snapshot as JSON, mounted at
+// /debug/fleet on the -debug-addr server.
+func (c *Coordinator) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Stats   Stats          `json:"stats"`
+			Workers []WorkerHealth `json:"workers"`
+		}{c.Stats(), c.Health()})
+	})
+}
+
+// event fans one fleet event out to the configured observers.
+func (c *Coordinator) event(e Event) {
+	if fn := c.cfg.OnEvent; fn != nil {
+		fn(e)
+	}
+	if fn := c.rt.OnEvent; fn != nil {
+		fn(e)
+	}
+}
+
+func (c *Coordinator) counter(name string) *obs.Counter { return c.rt.Metrics.Counter(name) }
+
+// setState updates a slot's state and its per-worker obs gauge.
+func (c *Coordinator) setState(s *slot, st WorkerState) {
+	c.mu.Lock()
+	s.state = st
+	if st != StateBusy && st != StateDraining {
+		s.currentKey = ""
+	}
+	c.mu.Unlock()
+	c.rt.Metrics.Gauge(fmt.Sprintf("%s%d", obs.GaugeFleetWorkerStatePrefix, s.id)).Set(float64(st))
+}
+
+// degrade flips the fleet — once, stickily, and loudly — to in-process
+// evaluation.
+func (c *Coordinator) degrade(detail string) {
+	c.mu.Lock()
+	if c.degraded {
+		c.mu.Unlock()
+		return
+	}
+	c.degraded = true
+	c.detail = detail
+	close(c.degradedCh)
+	c.mu.Unlock()
+	c.rt.Metrics.Gauge(obs.GaugeFleetDegraded).Set(1)
+	c.event(Event{Type: EventDegraded, Worker: -1, Detail: detail})
+}
+
+func (c *Coordinator) isDegraded() bool {
+	select {
+	case <-c.degradedCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// retire permanently removes a slot from the pool, degrading the fleet
+// if live capacity fell below the floor.
+func (c *Coordinator) retire(s *slot, why string) {
+	c.mu.Lock()
+	s.state = StateDead
+	s.lastFault = why
+	c.dead++
+	alive := c.cfg.Workers - c.dead
+	c.mu.Unlock()
+	c.rt.Metrics.Gauge(fmt.Sprintf("%s%d", obs.GaugeFleetWorkerStatePrefix, s.id)).Set(float64(StateDead))
+	c.rt.Metrics.Gauge(obs.GaugeFleetWorkersAlive).Set(float64(alive))
+	c.event(Event{Type: EventWorkerDead, Worker: s.id, Detail: why})
+	if alive < c.cfg.MinWorkers {
+		c.degrade(fmt.Sprintf("%d of %d worker(s) remain (floor %d); last: %s",
+			alive, c.cfg.Workers, c.cfg.MinWorkers, why))
+	}
+}
+
+// exitReason says how one worker process session ended.
+type exitReason int
+
+const (
+	exitShutdown exitReason = iota // orderly: ctx done
+	exitMismatch                   // fingerprint handshake failed (no respawn)
+	exitCrash                      // process died or misbehaved (respawn)
+	exitLost                       // heartbeats stopped (killed; respawn)
+	exitExpired                    // lease expired, kill-on-expiry (respawn)
+)
+
+// slotLoop owns one worker slot: spawn, serve, and respawn with backoff
+// until the restart budget is spent, the fingerprint mismatches, or the
+// fleet shuts down.
+func (c *Coordinator) slotLoop(s *slot) {
+	defer c.wg.Done()
+	for {
+		if c.ctx.Err() != nil {
+			c.setState(s, StateStopped)
+			return
+		}
+		c.setState(s, StateSpawning)
+		tr, proc, err := c.cfg.Spawn(s.id)
+		var reason exitReason
+		var detail string
+		if err != nil {
+			reason, detail = exitCrash, fmt.Sprintf("spawn failed: %v", err)
+			c.event(Event{Type: EventWorkerExit, Worker: s.id, Kind: resilience.KindGeneric, Detail: detail})
+		} else {
+			c.mu.Lock()
+			s.pid = proc.Pid()
+			c.mu.Unlock()
+			c.rt.Metrics.Gauge(obs.GaugeFleetWorkersAlive).Set(float64(c.aliveProcs(+1)))
+			reason, detail = c.serveWorker(s, tr)
+			proc.Kill()
+			tr.Close()
+			proc.Wait()
+			c.mu.Lock()
+			s.pid = 0
+			c.mu.Unlock()
+			c.rt.Metrics.Gauge(obs.GaugeFleetWorkersAlive).Set(float64(c.aliveProcs(-1)))
+		}
+		switch reason {
+		case exitShutdown:
+			c.setState(s, StateStopped)
+			return
+		case exitMismatch:
+			c.retire(s, detail)
+			return
+		}
+		c.mu.Lock()
+		s.lastFault = detail
+		restarts := s.restarts
+		c.mu.Unlock()
+		if restarts >= c.cfg.MaxRestarts {
+			c.retire(s, fmt.Sprintf("restart budget (%d) spent; last: %s", c.cfg.MaxRestarts, detail))
+			return
+		}
+		c.mu.Lock()
+		s.restarts++
+		c.mu.Unlock()
+		c.rt.Metrics.Gauge(fmt.Sprintf("%s%d", obs.GaugeFleetWorkerRestartsPrefix, s.id)).Set(float64(restarts + 1))
+		c.counter(obs.MetricFleetRestarts).Add(1)
+		c.statAdd(func(st *Stats) { st.Restarts++ })
+		c.event(Event{Type: EventWorkerRestart, Worker: s.id, Detail: detail})
+		c.setState(s, StateBackoff)
+		select {
+		case <-time.After(c.cfg.RestartBackoff):
+		case <-c.ctx.Done():
+			c.setState(s, StateStopped)
+			return
+		}
+	}
+}
+
+// aliveProcs tracks the live-process count for the workers_alive gauge.
+func (c *Coordinator) aliveProcs(delta int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.procsUp += delta
+	return c.procsUp
+}
+
+func (c *Coordinator) statAdd(fn func(*Stats)) {
+	c.mu.Lock()
+	fn(&c.st)
+	c.mu.Unlock()
+}
+
+// serveWorker drives one live worker process: handshake, then a
+// lease-serve loop. Every exit path resolves the in-flight lease (if
+// any) before returning, so no Evaluate caller is ever stranded.
+func (c *Coordinator) serveWorker(s *slot, tr Transport) (exitReason, string) {
+	// The reader goroutine exits when Recv fails; the caller's tr.Close
+	// and proc.Kill guarantee that on every return path.
+	msgs := make(chan Msg, 16)
+	go func() {
+		defer close(msgs)
+		for {
+			m, err := tr.Recv()
+			if err != nil {
+				return
+			}
+			msgs <- m
+		}
+	}()
+
+	c.setState(s, StateHandshake)
+	ready := time.NewTimer(c.cfg.ReadyTimeout)
+	defer ready.Stop()
+	select {
+	case m, ok := <-msgs:
+		if !ok {
+			return exitCrash, "worker exited before handshake"
+		}
+		if m.Type != MsgReady {
+			return exitCrash, fmt.Sprintf("protocol error: first frame %q, want %q", m.Type, MsgReady)
+		}
+		if m.Fingerprint != c.rt.Fingerprint {
+			detail := fmt.Sprintf("worker fingerprint %.12s... does not match coordinator %.12s... (its evaluations would not reproduce the journal)",
+				m.Fingerprint, c.rt.Fingerprint)
+			c.event(Event{Type: EventFingerprintMismatch, Worker: s.id, Detail: detail})
+			return exitMismatch, detail
+		}
+	case <-ready.C:
+		return exitCrash, fmt.Sprintf("no handshake within %v", c.cfg.ReadyTimeout)
+	case <-c.ctx.Done():
+		return exitShutdown, ""
+	}
+
+	for {
+		c.setState(s, StateIdle)
+		l := c.q.acquire(c.ctx, s.id, c.cfg.LeaseTTL)
+		if l == nil {
+			tr.Send(Msg{Type: MsgShutdown})
+			return exitShutdown, ""
+		}
+		if err := tr.Send(Msg{Type: MsgLease, Lease: l.id, Key: l.job.key, Attempt: l.job.attempt,
+			Assignment: l.job.a, DeadlineMS: c.cfg.LeaseTTL.Milliseconds()}); err != nil {
+			detail := fmt.Sprintf("lease send failed: %v", err)
+			c.q.fail(l.id, &WorkerFault{Key: l.job.key, Kind: resilience.KindSchedulerKill,
+				Msg: fmt.Sprintf("fleet: worker died before receiving the lease on %q", l.job.key)})
+			c.workerDied(s, l.job.key, l.job.attempt, detail)
+			return exitCrash, detail
+		}
+		c.mu.Lock()
+		s.state = StateBusy
+		s.currentKey = l.job.key
+		s.lastBeat = time.Now()
+		c.mu.Unlock()
+		c.counter(obs.MetricFleetLeases).Add(1)
+		c.statAdd(func(st *Stats) { st.Leases++ })
+		c.event(Event{Type: EventLeaseGrant, Worker: s.id, Key: l.job.key, Attempt: l.job.attempt})
+
+		reason, detail, next := c.driveLease(s, tr, l, msgs)
+		if !next {
+			return reason, detail
+		}
+	}
+}
+
+// workerDied records a worker process death (event + counters).
+func (c *Coordinator) workerDied(s *slot, key string, attempt int, detail string) {
+	c.counter(obs.MetricFleetWorkerExits).Add(1)
+	c.statAdd(func(st *Stats) { st.Exits++ })
+	c.event(Event{Type: EventWorkerExit, Worker: s.id, Key: key, Attempt: attempt,
+		Kind: resilience.KindSchedulerKill, Detail: detail})
+}
+
+// lateResult records a stale completion dropped by the exactly-once
+// dedup.
+func (c *Coordinator) lateResult(s *slot, key string, attempt int) {
+	c.counter(obs.MetricFleetLateResults).Add(1)
+	c.statAdd(func(st *Stats) { st.Late++ })
+	c.event(Event{Type: EventLateResult, Worker: s.id, Key: key, Attempt: attempt,
+		Detail: "completion for an expired, reassigned lease dropped"})
+}
+
+// driveLease runs one granted lease to its end: a result/fault frame, a
+// deadline expiry, heartbeat silence, process death, or shutdown. It
+// returns next=true when the worker survives to take another lease.
+func (c *Coordinator) driveLease(s *slot, tr Transport, l *lease, msgs <-chan Msg) (reason exitReason, detail string, next bool) {
+	key, attempt := l.job.key, l.job.attempt
+	// draining: the lease has already been failed (expired) but the
+	// worker lives on (LetExpiredFinish) — we wait for its stale frame,
+	// count it as late, and only then reuse the worker.
+	draining := false
+	tick := time.NewTicker(c.cfg.Heartbeat / 2)
+	defer tick.Stop()
+	lastBeat := time.Now()
+	for {
+		select {
+		case m, ok := <-msgs:
+			if !ok {
+				det := fmt.Sprintf("worker exited during evaluation of %q (attempt %d)", key, attempt)
+				if !draining {
+					c.q.fail(l.id, &WorkerFault{Key: key, Kind: resilience.KindSchedulerKill,
+						Msg: fmt.Sprintf("fleet: worker evaluating %q was killed before returning a result", key)})
+				}
+				c.workerDied(s, key, attempt, det)
+				return exitCrash, det, false
+			}
+			switch m.Type {
+			case MsgHeartbeat:
+				lastBeat = time.Now()
+				c.mu.Lock()
+				s.lastBeat = lastBeat
+				c.mu.Unlock()
+				c.counter(obs.MetricFleetHeartbeats).Add(1)
+			case MsgResult:
+				rec, err := decodeResult(c.rt.Fingerprint, key, m)
+				if err != nil {
+					// A corrupt result is a protocol breach: fail the lease
+					// and replace the process.
+					det := err.Error()
+					if !draining {
+						c.q.fail(l.id, &WorkerFault{Key: key, Msg: det})
+					}
+					c.workerDied(s, key, attempt, det)
+					return exitCrash, det, false
+				}
+				ev, err := rec.Evaluation()
+				if err != nil {
+					det := err.Error()
+					if !draining {
+						c.q.fail(l.id, &WorkerFault{Key: key, Msg: det})
+					}
+					c.workerDied(s, key, attempt, det)
+					return exitCrash, det, false
+				}
+				if m.Lease != l.id || draining || !c.q.complete(l.id, ev) {
+					c.lateResult(s, key, attempt)
+					if draining {
+						return 0, "", true
+					}
+					continue
+				}
+				c.mu.Lock()
+				s.leasesDone++
+				c.mu.Unlock()
+				c.rt.Metrics.Counter(fmt.Sprintf("%s%d", obs.MetricFleetWorkerLeasesPrefix, s.id)).Add(1)
+				return 0, "", true
+			case MsgFault:
+				f := &WorkerFault{Key: key, Msg: m.Fault, Persistent: m.Persistent}
+				if m.Lease != l.id || draining || !c.q.fail(l.id, f) {
+					c.lateResult(s, key, attempt)
+					if draining {
+						return 0, "", true
+					}
+					continue
+				}
+				c.mu.Lock()
+				s.leasesDone++
+				s.lastFault = m.Fault
+				c.mu.Unlock()
+				return 0, "", true
+			}
+		case <-tick.C:
+			now := time.Now()
+			if !draining && now.After(l.deadline) {
+				c.q.fail(l.id, &WorkerFault{Key: key, Kind: resilience.KindHang,
+					Msg: fmt.Sprintf("fleet: lease on %q expired after %v; reassigning", key, c.cfg.LeaseTTL)})
+				c.counter(obs.MetricFleetLeaseExpired).Add(1)
+				c.statAdd(func(st *Stats) { st.Expired++ })
+				c.event(Event{Type: EventLeaseExpired, Worker: s.id, Key: key, Attempt: attempt,
+					Kind: resilience.KindHang, Detail: fmt.Sprintf("deadline %v passed", c.cfg.LeaseTTL)})
+				if c.cfg.LetExpiredFinish {
+					draining = true
+					c.setState(s, StateDraining)
+					c.mu.Lock()
+					s.currentKey = key
+					c.mu.Unlock()
+					continue
+				}
+				return exitExpired, fmt.Sprintf("lease on %q expired", key), false
+			}
+			if now.Sub(lastBeat) > time.Duration(c.cfg.HeartbeatMisses)*c.cfg.Heartbeat {
+				det := fmt.Sprintf("no heartbeat for %v (%d misses) during %q; killing worker",
+					now.Sub(lastBeat).Round(time.Millisecond), c.cfg.HeartbeatMisses, key)
+				if !draining {
+					c.q.fail(l.id, &WorkerFault{Key: key, Kind: resilience.KindHang,
+						Msg: fmt.Sprintf("fleet: worker evaluating %q went silent; killed", key)})
+				}
+				c.counter(obs.MetricFleetWorkerExits).Add(1)
+				c.statAdd(func(st *Stats) { st.Exits++ })
+				c.event(Event{Type: EventWorkerLost, Worker: s.id, Key: key, Attempt: attempt,
+					Kind: resilience.KindHang, Detail: det})
+				return exitLost, det, false
+			}
+		case <-c.ctx.Done():
+			if !draining {
+				c.q.fail(l.id, &WorkerFault{Key: key,
+					Msg: fmt.Sprintf("fleet: shutdown during evaluation of %q", key)})
+			}
+			return exitShutdown, "", false
+		}
+	}
+}
+
+// Evaluate implements search.Evaluator.
+func (c *Coordinator) Evaluate(a transform.Assignment) *search.Evaluation {
+	return c.EvaluateSpan(nil, a)
+}
+
+// EvaluateSpan implements search.SpanEvaluator: one fleet.lease child
+// span covers the queue wait and the worker round trip (including
+// reassignments of this submission's lease are separate Evaluate calls
+// made by the supervisor's retry). A worker failure panics with a
+// *WorkerFault for the supervisor; after a degrade the evaluation runs
+// in-process on Runtime.Local.
+func (c *Coordinator) EvaluateSpan(sp *obs.Span, a transform.Assignment) *search.Evaluation {
+	if c.isDegraded() {
+		return c.localEval(sp, a)
+	}
+	key := a.Key()
+	c.mu.Lock()
+	c.attempts[key]++
+	attempt := c.attempts[key]
+	c.mu.Unlock()
+
+	fsp := sp.Child(obs.SpanFleetLease)
+	fsp.Attr("key", key)
+	fsp.AttrInt("attempt", int64(attempt))
+	defer fsp.End()
+
+	j := c.q.submit(a, key, attempt)
+	for {
+		select {
+		case o := <-j.done:
+			return c.settle(fsp, a, o)
+		case <-c.degradedCh:
+			if c.q.withdraw(j) {
+				fsp.Attr("outcome", "degraded")
+				return c.localEval(sp, a)
+			}
+			// Already leased: the failing worker path resolves it.
+			select {
+			case o := <-j.done:
+				return c.settle(fsp, a, o)
+			case <-c.ctx.Done():
+				fsp.Attr("outcome", "cancelled")
+				panic(search.NewCancelled(context.Cause(c.ctx)))
+			}
+		case <-c.ctx.Done():
+			fsp.Attr("outcome", "cancelled")
+			panic(search.NewCancelled(context.Cause(c.ctx)))
+		}
+	}
+}
+
+// settle turns a job outcome into a return or a supervisor-bound panic.
+func (c *Coordinator) settle(fsp *obs.Span, a transform.Assignment, o outcome) *search.Evaluation {
+	if o.fault != nil {
+		fsp.Attr("outcome", "fault")
+		fsp.Attr("kind", kindOrClassify(o.fault))
+		panic(o.fault)
+	}
+	o.ev.Assignment = a
+	fsp.Attr("outcome", o.ev.Status.String())
+	return o.ev
+}
+
+// localEval answers one evaluation in-process (degraded mode).
+func (c *Coordinator) localEval(sp *obs.Span, a transform.Assignment) *search.Evaluation {
+	c.counter(obs.MetricFleetLocalEvals).Add(1)
+	c.statAdd(func(st *Stats) { st.LocalEvals++ })
+	return search.Evaluate(c.rt.Local, sp, a)
+}

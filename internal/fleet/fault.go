@@ -1,0 +1,58 @@
+package fleet
+
+import "repro/internal/resilience"
+
+// WorkerFault is the panic value the coordinator raises when a lease
+// cannot be answered: the worker process exited mid-evaluation, stopped
+// heartbeating, let the lease expire, or reported an evaluation panic
+// of its own. It flows into the resilience supervisor, whose per-kind
+// retry budgets turn the fault into a lease reassignment (or, past the
+// budget, a quarantine).
+//
+// Error renders deterministically — no worker IDs, PIDs, or attempt
+// counts — because a quarantine detail built from this message lands in
+// the journal proper (StatusInfra records) and must be identical across
+// runs, resumes, and pool sizes. Worker identity travels in the events
+// sidecar instead.
+type WorkerFault struct {
+	// Key is the canonical assignment key of the failed lease.
+	Key string
+	// Kind is the resilience fault class (KindSchedulerKill for a dead
+	// process, KindHang for a silent or expired one; empty lets
+	// FaultKindOf classify from the message, as for worker-reported
+	// evaluation faults).
+	Kind string
+	// Msg is the rendered fault. For worker-reported faults it is the
+	// worker's own rendering, verbatim, so in-process and fleet runs
+	// quarantine with identical details.
+	Msg string
+	// Persistent marks a fault retrying cannot cure (a worker-reported
+	// persistent evaluation fault, e.g. an injected crash-on-key).
+	Persistent bool
+}
+
+func (f *WorkerFault) Error() string { return f.Msg }
+
+// FaultKind labels the fault for per-kind retry budgets; an empty Kind
+// defers to FaultKindOf's message vocabulary.
+func (f *WorkerFault) FaultKind() string { return f.Kind }
+
+// Transient reports whether a retry (a lease reassignment) could
+// succeed.
+func (f *WorkerFault) Transient() bool { return !f.Persistent }
+
+var _ interface {
+	error
+	FaultKind() string
+	Transient() bool
+} = (*WorkerFault)(nil)
+
+// kindOrClassify resolves an explicit kind or falls back to the
+// resilience message vocabulary, for sidecar events (the supervisor
+// does its own classification independently).
+func kindOrClassify(f *WorkerFault) string {
+	if f.Kind != "" {
+		return f.Kind
+	}
+	return resilience.FaultKindOf(f)
+}

@@ -1,0 +1,450 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/search"
+	"repro/internal/transform"
+)
+
+const stubFingerprint = "stub-fingerprint"
+
+// TestMain doubles as the worker executable: the coordinator tests
+// re-exec this very test binary with FLEET_STUB_WORKER=1, and the stub
+// serves the production Serve loop over its stdin/stdout with a
+// deterministic toy evaluator — so the subprocess plumbing under test
+// is exactly the plumbing `prose worker` uses.
+func TestMain(m *testing.M) {
+	if os.Getenv("FLEET_STUB_WORKER") == "1" {
+		if err := runStubWorker(); err != nil {
+			fmt.Fprintln(os.Stderr, "stub worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runStubWorker() error {
+	faults := WorkerFaults{
+		CrashKey: os.Getenv("FLEET_STUB_CRASH_KEY"),
+		WedgeKey: os.Getenv("FLEET_STUB_WEDGE_KEY"),
+		SlowKey:  os.Getenv("FLEET_STUB_SLOW_KEY"),
+	}
+	if v := os.Getenv("FLEET_STUB_KILL_RATE"); v != "" {
+		faults.KillRate, _ = strconv.ParseFloat(v, 64)
+	}
+	if v := os.Getenv("FLEET_STUB_SEED"); v != "" {
+		faults.Seed, _ = strconv.ParseInt(v, 10, 64)
+	}
+	if v := os.Getenv("FLEET_STUB_SLOW_MS"); v != "" {
+		ms, _ := strconv.Atoi(v)
+		faults.Slow = time.Duration(ms) * time.Millisecond
+	}
+	fp := os.Getenv("FLEET_STUB_FP")
+	if fp == "" {
+		fp = stubFingerprint
+	}
+	hb := DefaultHeartbeat
+	if v := os.Getenv("FLEET_STUB_HB_MS"); v != "" {
+		ms, _ := strconv.Atoi(v)
+		hb = time.Duration(ms) * time.Millisecond
+	}
+	return Serve(ServeConfig{
+		Transport:   NewPipeTransport(os.Stdin, os.Stdout),
+		Eval:        stubEval{panicKey: os.Getenv("FLEET_STUB_PANIC_KEY")},
+		Fingerprint: fp,
+		Heartbeat:   hb,
+		Fault:       faults,
+	})
+}
+
+// stubEval is a deterministic toy evaluator: identical on coordinator
+// and worker, so fleet results can be checked against in-process ones.
+type stubEval struct{ panicKey string }
+
+func (e stubEval) Evaluate(a transform.Assignment) *search.Evaluation {
+	if e.panicKey != "" && a.Key() == e.panicKey {
+		panic(fmt.Errorf("stub: injected evaluation fault"))
+	}
+	return &search.Evaluation{
+		Assignment: a,
+		Status:     search.StatusPass,
+		Speedup:    1 + float64(a.Lowered()),
+		RelError:   1e-9 * float64(len(a)),
+		Lowered:    a.Lowered(),
+		TotalAtoms: len(a),
+		Detail:     "stub",
+	}
+}
+
+// stubSpawn re-execs the test binary as a stub worker with extra
+// environment overrides ("K=V" strings).
+func stubSpawn(extra ...string) SpawnFunc {
+	return func(id int) (Transport, Process, error) {
+		cmd := exec.Command(os.Args[0])
+		cmd.Stderr = os.Stderr
+		cmd.Env = append(os.Environ(), "FLEET_STUB_WORKER=1")
+		cmd.Env = append(cmd.Env, extra...)
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, nil, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, nil, err
+		}
+		return NewPipeTransport(stdout, stdin), (*procHandle)(cmd), nil
+	}
+}
+
+// eventSink collects fleet events concurrency-safely.
+type eventSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (s *eventSink) record(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, e)
+}
+
+func (s *eventSink) count(typ string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.events {
+		if e.Type == typ {
+			n++
+		}
+	}
+	return n
+}
+
+func startFleet(t *testing.T, cfg Config, rt Runtime) *Coordinator {
+	t.Helper()
+	if rt.Local == nil {
+		rt.Local = stubEval{}
+	}
+	if rt.Fingerprint == "" {
+		rt.Fingerprint = stubFingerprint
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.Start(context.Background(), rt); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// supervise wraps the coordinator the way core does, so worker faults
+// become retries (lease reassignments) instead of test panics.
+func supervise(c *Coordinator) *resilience.Supervised {
+	return &resilience.Supervised{
+		Inner:         c,
+		MaxRetries:    3,
+		RetriesByKind: resilience.DefaultRetryBudgets(3),
+		Backoff:       resilience.Backoff{Base: time.Millisecond, Seed: 1},
+	}
+}
+
+func asn(n int) transform.Assignment {
+	a := transform.Assignment{}
+	for i := 0; i < n; i++ {
+		a[fmt.Sprintf("m.p.v%d", i)] = 4 // kind 4 = lowered to 32-bit
+	}
+	return a
+}
+
+func TestFleetEvaluatesOnWorkers(t *testing.T) {
+	sink := &eventSink{}
+	c := startFleet(t, Config{Workers: 2, Spawn: stubSpawn(), OnEvent: sink.record}, Runtime{})
+
+	var wg sync.WaitGroup
+	results := make([]*search.Evaluation, 6)
+	for i := 0; i < len(results); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Evaluate(asn(i + 1))
+		}(i)
+	}
+	wg.Wait()
+	for i, ev := range results {
+		want := stubEval{}.Evaluate(asn(i + 1))
+		if ev.Status != want.Status || ev.Speedup != want.Speedup || ev.RelError != want.RelError {
+			t.Errorf("eval %d: got %+v, want %+v", i, ev, want)
+		}
+		if ev.Assignment.Key() != asn(i+1).Key() {
+			t.Errorf("eval %d: assignment not restored", i)
+		}
+	}
+	st := c.Stats()
+	if st.Leases != int64(len(results)) {
+		t.Errorf("Leases = %d, want %d", st.Leases, len(results))
+	}
+	if st.Degraded || st.Exits != 0 {
+		t.Errorf("unexpected degradation or exits: %+v", st)
+	}
+	if sink.count(EventLeaseGrant) != len(results) {
+		t.Errorf("lease_grant events = %d, want %d", sink.count(EventLeaseGrant), len(results))
+	}
+	c.Close()
+	if st := c.Stats(); st.Alive != 2 {
+		t.Errorf("Alive after orderly close = %d, want 2", st.Alive)
+	}
+}
+
+func TestWorkerCrashIsRetriedToSuccess(t *testing.T) {
+	// Pick a seed whose injected-kill stream kills attempt 1 of our key
+	// but spares attempt 2 — so one worker death later the retried lease
+	// must succeed. The stream is pure in (seed, key, attempt), so this
+	// search is deterministic too.
+	const rate = 0.5
+	key := asn(3).Key()
+	seed := int64(-1)
+	for s := int64(0); s < 10_000; s++ {
+		if search.FaultFrac(s, key, 1) < rate && search.FaultFrac(s, key, 2) >= rate {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no suitable fault seed found")
+	}
+
+	sink := &eventSink{}
+	c := startFleet(t, Config{
+		Workers: 1,
+		Spawn: stubSpawn(
+			fmt.Sprintf("FLEET_STUB_KILL_RATE=%g", rate),
+			fmt.Sprintf("FLEET_STUB_SEED=%d", seed)),
+		RestartBackoff: 10 * time.Millisecond,
+		OnEvent:        sink.record,
+	}, Runtime{})
+
+	ev := supervise(c).Evaluate(asn(3))
+	if ev.Status != search.StatusPass {
+		t.Fatalf("status = %v, want pass", ev.Status)
+	}
+	st := c.Stats()
+	if st.Exits < 1 || st.Restarts < 1 {
+		t.Errorf("Exits = %d, Restarts = %d; want >= 1 each", st.Exits, st.Restarts)
+	}
+	if sink.count(EventWorkerExit) < 1 || sink.count(EventWorkerRestart) < 1 {
+		t.Errorf("missing worker_exit/worker_restart events: %+v", sink.events)
+	}
+}
+
+func TestWedgedWorkerIsDetectedByHeartbeatLoss(t *testing.T) {
+	key := asn(2).Key()
+	sink := &eventSink{}
+	c := startFleet(t, Config{
+		Workers:         1,
+		Spawn:           stubSpawn("FLEET_STUB_WEDGE_KEY="+key, "FLEET_STUB_HB_MS=20"),
+		Heartbeat:       20 * time.Millisecond,
+		HeartbeatMisses: 4,
+		RestartBackoff:  10 * time.Millisecond,
+		OnEvent:         sink.record,
+	}, Runtime{})
+
+	// Attempt 1 wedges (no heartbeats, no result); the silence detector
+	// must kill the worker and the supervised retry must succeed.
+	ev := supervise(c).Evaluate(asn(2))
+	if ev.Status != search.StatusPass {
+		t.Fatalf("status = %v, want pass", ev.Status)
+	}
+	if sink.count(EventWorkerLost) < 1 {
+		t.Errorf("no worker_lost event after a wedge; events: %+v", sink.events)
+	}
+	if st := c.Stats(); st.Exits < 1 {
+		t.Errorf("Exits = %d, want >= 1", st.Exits)
+	}
+}
+
+func TestLateResultAfterExpiryIsDeduped(t *testing.T) {
+	key := asn(4).Key()
+	sink := &eventSink{}
+	c := startFleet(t, Config{
+		Workers: 1,
+		Spawn: stubSpawn(
+			"FLEET_STUB_SLOW_KEY="+key,
+			"FLEET_STUB_SLOW_MS=600",
+			"FLEET_STUB_HB_MS=20"),
+		LeaseTTL:         150 * time.Millisecond,
+		Heartbeat:        20 * time.Millisecond,
+		HeartbeatMisses:  50, // heartbeats flow during the slow sleep; silence is not the trigger
+		LetExpiredFinish: true,
+		OnEvent:          sink.record,
+	}, Runtime{})
+
+	// Attempt 1 finishes 600ms after a 150ms lease: the lease expires,
+	// the supervisor reassigns, and the worker's late completion must be
+	// dropped by the exactly-once dedup — not delivered twice.
+	ev := supervise(c).Evaluate(asn(4))
+	if ev.Status != search.StatusPass {
+		t.Fatalf("status = %v, want pass", ev.Status)
+	}
+	// The drained worker reports its stale frame after the retry begins;
+	// poll briefly for the counters to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := c.Stats()
+		if st.Expired >= 1 && st.Late >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("Expired = %d, Late = %d; want >= 1 each", st.Expired, st.Late)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if sink.count(EventLeaseExpired) < 1 || sink.count(EventLateResult) < 1 {
+		t.Errorf("missing lease_expired/late_result events: %+v", sink.events)
+	}
+	if st := c.Stats(); st.Exits != 0 {
+		t.Errorf("Exits = %d, want 0 (LetExpiredFinish keeps the worker)", st.Exits)
+	}
+}
+
+func TestWorkerEvaluationPanicBecomesFaultFrame(t *testing.T) {
+	key := asn(1).Key()
+	c := startFleet(t, Config{
+		Workers: 1,
+		Spawn:   stubSpawn("FLEET_STUB_PANIC_KEY=" + key),
+	}, Runtime{})
+
+	defer func() {
+		r := recover()
+		wf, ok := r.(*WorkerFault)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *WorkerFault", r, r)
+		}
+		if !strings.Contains(wf.Error(), "injected evaluation fault") {
+			t.Errorf("fault message %q lost the worker's panic detail", wf.Error())
+		}
+		if !wf.Transient() {
+			t.Errorf("plain panic should be transient")
+		}
+		// The process survived its evaluation panic: no exits.
+		if st := c.Stats(); st.Exits != 0 {
+			t.Errorf("Exits = %d, want 0", st.Exits)
+		}
+	}()
+	c.Evaluate(asn(1))
+	t.Fatal("Evaluate returned; want *WorkerFault panic")
+}
+
+func TestFingerprintMismatchRetiresWorkerAndDegrades(t *testing.T) {
+	sink := &eventSink{}
+	c := startFleet(t, Config{
+		Workers: 1,
+		Spawn:   stubSpawn("FLEET_STUB_FP=some-other-build"),
+		OnEvent: sink.record,
+	}, Runtime{})
+
+	// The sole worker fails its handshake and is retired without
+	// respawn; the fleet degrades and the evaluation runs in-process.
+	ev := c.Evaluate(asn(2))
+	if ev.Status != search.StatusPass {
+		t.Fatalf("status = %v, want pass", ev.Status)
+	}
+	st := c.Stats()
+	if !st.Degraded {
+		t.Fatal("fleet did not degrade after a fingerprint mismatch")
+	}
+	if st.LocalEvals < 1 {
+		t.Errorf("LocalEvals = %d, want >= 1", st.LocalEvals)
+	}
+	if st.Restarts != 0 {
+		t.Errorf("Restarts = %d; a mismatched worker must not respawn", st.Restarts)
+	}
+	if sink.count(EventFingerprintMismatch) != 1 || sink.count(EventDegraded) != 1 {
+		t.Errorf("events: %+v", sink.events)
+	}
+}
+
+func TestSpawnFailureExhaustsRestartsAndDegrades(t *testing.T) {
+	sink := &eventSink{}
+	spawnFail := func(id int) (Transport, Process, error) {
+		return nil, nil, fmt.Errorf("no such binary")
+	}
+	c := startFleet(t, Config{
+		Workers:        1,
+		Spawn:          spawnFail,
+		MaxRestarts:    2,
+		RestartBackoff: time.Millisecond,
+		OnEvent:        sink.record,
+	}, Runtime{})
+
+	ev := c.Evaluate(asn(3))
+	if ev.Status != search.StatusPass {
+		t.Fatalf("status = %v, want pass", ev.Status)
+	}
+	st := c.Stats()
+	if !st.Degraded || st.Alive != 0 {
+		t.Errorf("Degraded = %v, Alive = %d; want degraded with 0 alive", st.Degraded, st.Alive)
+	}
+	if !strings.Contains(st.DegradeDetail, "0 of 1 worker(s) remain") {
+		t.Errorf("DegradeDetail = %q", st.DegradeDetail)
+	}
+	if sink.count(EventWorkerDead) != 1 {
+		t.Errorf("worker_dead events = %d, want 1", sink.count(EventWorkerDead))
+	}
+}
+
+func TestHealthAndDebugSnapshot(t *testing.T) {
+	c := startFleet(t, Config{Workers: 2, Spawn: stubSpawn()}, Runtime{})
+	if ev := c.Evaluate(asn(2)); ev.Status != search.StatusPass {
+		t.Fatalf("status = %v, want pass", ev.Status)
+	}
+	h := c.Health()
+	if len(h) != 2 {
+		t.Fatalf("Health() returned %d slots, want 2", len(h))
+	}
+	var done int64
+	for _, w := range h {
+		done += w.LeasesDone
+		if w.State == StateDead.String() {
+			t.Errorf("worker %d dead: %+v", w.ID, w)
+		}
+	}
+	if done != 1 {
+		t.Errorf("total LeasesDone = %d, want 1", done)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Workers: 0, Spawn: stubSpawn()}); err == nil {
+		t.Error("Workers=0 accepted")
+	}
+	if _, err := New(Config{Workers: 1}); err == nil {
+		t.Error("nil Spawn accepted")
+	}
+	if _, err := New(Config{Workers: 2, Spawn: stubSpawn(), MinWorkers: 3}); err == nil {
+		t.Error("MinWorkers > Workers accepted")
+	}
+	c, err := New(Config{Workers: 1, Spawn: stubSpawn()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.Start(context.Background(), Runtime{}); err == nil {
+		t.Error("Start without Local/Fingerprint accepted")
+		c.Close()
+	}
+}

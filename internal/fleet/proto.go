@@ -1,0 +1,162 @@
+// Package fleet shards variant evaluation across worker subprocesses:
+// a coordinator leases evaluations to `prose worker` processes over a
+// JSONL pipe protocol, detects crash and hang (process exit, missed
+// heartbeats, lease expiry), reassigns expired leases, dedups double
+// completions so the journal sees exactly once, and degrades to
+// in-process evaluation when the pool collapses below a floor.
+//
+// The coordinator is a search.Evaluator: worker failures surface as
+// panics carrying a *WorkerFault, so the resilience supervisor's
+// existing retry/quarantine/breaker taxonomy — per-kind budgets,
+// seeded backoff, sidecar events — owns the retry policy, and a lease
+// reassignment is just a supervised retry. Because workers reproduce
+// the coordinator's evaluations bit for bit (enforced by a fingerprint
+// handshake at spawn), the evaluation journal of a tune that absorbed
+// worker deaths is byte-identical to a fault-free run's at any pool
+// size; worker deaths are visible only in the events sidecar and obs
+// metrics.
+//
+// The wire protocol is deliberately transport-shaped: one Msg struct,
+// JSONL framing, and a Transport interface a pipe satisfies today and
+// an HTTP/socket transport can satisfy later without touching the
+// coordinator or worker loops.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/journal"
+)
+
+// Message types. The worker initiates with ready; the coordinator
+// grants leases; the worker answers each lease with heartbeats followed
+// by exactly one result or fault; shutdown ends the session.
+const (
+	// MsgReady is the worker's handshake: it carries the worker's
+	// evaluation fingerprint, which must equal the coordinator's or the
+	// worker is retired (a worker built from different source, machine
+	// model, or seed would silently corrupt the journal).
+	MsgReady = "ready"
+	// MsgLease grants one evaluation: assignment, per-key attempt
+	// number, and deadline. The attempt number makes worker-side fault
+	// injection deterministic across reassignments: a restarted worker
+	// has no memory, so the coordinator carries the attempt count.
+	MsgLease = "lease"
+	// MsgHeartbeat is the worker's liveness signal while evaluating.
+	MsgHeartbeat = "heartbeat"
+	// MsgResult answers a lease with the completed evaluation, encoded
+	// as a journal.Record so its content key is integrity-checked
+	// against the shared fingerprint on arrival.
+	MsgResult = "result"
+	// MsgFault answers a lease with a worker-side evaluation panic the
+	// worker survived (the process is still healthy; only the variant's
+	// evaluation infrastructure faulted).
+	MsgFault = "fault"
+	// MsgShutdown asks the worker to exit cleanly.
+	MsgShutdown = "shutdown"
+)
+
+// Msg is one frame of the coordinator↔worker protocol. A single struct
+// (rather than per-type payloads) keeps the JSONL framing trivial and
+// the protocol easy to evolve: unknown fields are ignored on decode.
+type Msg struct {
+	Type string `json:"type"`
+	// Lease identifies the lease a heartbeat/result/fault answers.
+	Lease int64 `json:"lease,omitempty"`
+	// Key is the canonical assignment key (lease).
+	Key string `json:"key,omitempty"`
+	// Attempt is the coordinator-tracked 1-based per-key attempt (lease).
+	Attempt int `json:"attempt,omitempty"`
+	// Assignment is the precision assignment to evaluate (lease).
+	Assignment map[string]int `json:"assignment,omitempty"`
+	// DeadlineMS is the lease TTL in milliseconds (lease; advisory — the
+	// coordinator enforces expiry, the worker may use it to self-limit).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Fingerprint is the evaluation fingerprint (ready).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Result is the completed evaluation (result).
+	Result *journal.Record `json:"result,omitempty"`
+	// Fault is the rendered evaluation panic (fault).
+	Fault string `json:"fault,omitempty"`
+	// Persistent marks a fault retrying cannot cure (fault).
+	Persistent bool `json:"persistent,omitempty"`
+}
+
+// Transport carries Msgs between coordinator and worker. Send must be
+// safe for concurrent use (the worker heartbeats from a side goroutine
+// while evaluating); Recv is called from a single goroutine. Close
+// unblocks a pending Recv.
+type Transport interface {
+	Send(Msg) error
+	Recv() (Msg, error)
+	Close() error
+}
+
+// pipeTransport is the JSONL-over-pipes transport: one JSON object per
+// line. json.Encoder.Encode issues a single Write per message
+// (marshal + trailing newline), so frames up to the pipe's atomic
+// write size never interleave; the mutex serializes larger ones and
+// concurrent senders.
+type pipeTransport struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	dec *json.Decoder
+	r   io.Reader
+	w   io.Writer
+}
+
+// NewPipeTransport wraps a reader/writer pair (typically a subprocess's
+// stdout/stdin, or os.Stdin/os.Stdout on the worker side) in the JSONL
+// transport.
+func NewPipeTransport(r io.Reader, w io.Writer) Transport {
+	return &pipeTransport{enc: json.NewEncoder(w), dec: json.NewDecoder(r), r: r, w: w}
+}
+
+func (t *pipeTransport) Send(m Msg) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enc.Encode(m)
+}
+
+func (t *pipeTransport) Recv() (Msg, error) {
+	var m Msg
+	if err := t.dec.Decode(&m); err != nil {
+		return Msg{}, err
+	}
+	return m, nil
+}
+
+func (t *pipeTransport) Close() error {
+	var firstErr error
+	if c, ok := t.w.(io.Closer); ok {
+		firstErr = c.Close()
+	}
+	if c, ok := t.r.(io.Closer); ok {
+		if err := c.Close(); firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// decodeResult validates and decodes a MsgResult payload: the record's
+// content key must match the shared fingerprint and the leased
+// assignment key, exactly as the journal validates its own lines — a
+// corrupt pipe or a confused worker cannot smuggle a wrong-variant
+// record into the evaluation stream.
+func decodeResult(fingerprint, wantKey string, m Msg) (*journal.Record, error) {
+	rec := m.Result
+	if rec == nil {
+		return nil, fmt.Errorf("fleet: result frame without payload")
+	}
+	if rec.AKey != wantKey {
+		return nil, fmt.Errorf("fleet: result for %q answers a lease on %q", rec.AKey, wantKey)
+	}
+	if rec.Key != journal.RecordKey(fingerprint, rec.AKey) {
+		return nil, fmt.Errorf("fleet: result for %q fails its content-key check", rec.AKey)
+	}
+	return rec, nil
+}

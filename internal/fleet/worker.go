@@ -1,0 +1,193 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/search"
+	"repro/internal/transform"
+)
+
+// WorkerFaults configures process-level fault injection in a worker —
+// the subprocess extension of search.FaultInjector's flaky/crash modes.
+// Every decision is a pure function of (Seed, key, attempt) via
+// search.FaultFrac, so injected deaths are deterministic and
+// independent of which worker draws the lease: the byte-identical-
+// journal invariant can be tested under real SIGKILLs.
+type WorkerFaults struct {
+	// KillRate SIGKILLs the worker process before evaluating a lease
+	// with this probability per (key, attempt).
+	KillRate float64
+	// Seed drives the KillRate hash.
+	Seed int64
+	// CrashKey SIGKILLs the worker on every lease for this key — a
+	// variant that reliably kills its host (e.g. an OOM), which the
+	// supervisor must quarantine after the retry budget.
+	CrashKey string
+	// WedgeKey wedges the worker — heartbeats and all — on the first
+	// attempt of this key, exercising the heartbeat-loss detector.
+	WedgeKey string
+	// SlowKey delays the result of this key's first attempt by Slow,
+	// exercising lease expiry and the late-result dedup.
+	SlowKey string
+	// Slow is the SlowKey delay.
+	Slow time.Duration
+}
+
+// ServeConfig configures one worker process's serve loop.
+type ServeConfig struct {
+	// Transport carries the lease protocol (required); typically
+	// NewPipeTransport(os.Stdin, os.Stdout).
+	Transport Transport
+	// Eval evaluates leases (required); in `prose worker` it is the
+	// worker's own core.Tuner.
+	Eval search.Evaluator
+	// Fingerprint is the evaluation fingerprint sent in the handshake
+	// (required); the coordinator retires workers that disagree.
+	Fingerprint string
+	// Heartbeat is the liveness interval while evaluating (default
+	// DefaultHeartbeat; must match the coordinator's).
+	Heartbeat time.Duration
+	// Fault is the fault-injection configuration (zero = none).
+	Fault WorkerFaults
+}
+
+// Serve runs a worker's lease loop until the coordinator says shutdown
+// or the transport closes (EOF is an orderly end: the coordinator died
+// or dropped us, and our process has no further purpose). Evaluation
+// panics are caught and answered as fault frames — the process
+// survives them; only injected faults and real crashes kill it.
+func Serve(cfg ServeConfig) error {
+	if cfg.Transport == nil || cfg.Eval == nil {
+		return fmt.Errorf("fleet: Serve needs Transport and Eval")
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = DefaultHeartbeat
+	}
+	tr := cfg.Transport
+	if err := tr.Send(Msg{Type: MsgReady, Fingerprint: cfg.Fingerprint}); err != nil {
+		return err
+	}
+	for {
+		m, err := tr.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
+				return nil
+			}
+			return err
+		}
+		switch m.Type {
+		case MsgShutdown:
+			return nil
+		case MsgLease:
+			cfg.Fault.preEval(m.Key, m.Attempt)
+			stop := heartbeats(tr, m.Lease, cfg.Heartbeat)
+			ev, fault, faulted, persistent := runEval(cfg.Eval, m.Assignment)
+			cfg.Fault.preReply(m.Key, m.Attempt)
+			stop()
+			var reply Msg
+			if faulted {
+				reply = Msg{Type: MsgFault, Lease: m.Lease, Fault: fault, Persistent: persistent}
+			} else {
+				rec := journal.FromEvaluation(cfg.Fingerprint, ev)
+				reply = Msg{Type: MsgResult, Lease: m.Lease, Result: &rec}
+			}
+			if err := tr.Send(reply); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// preEval fires pre-evaluation injected faults: self-SIGKILL (the
+// coordinator sees EOF, exactly like a scheduler or OOM kill) or a full
+// wedge (heartbeats never start; the coordinator's silence detector
+// must kill us).
+func (f *WorkerFaults) preEval(key string, attempt int) {
+	if f.CrashKey != "" && key == f.CrashKey {
+		killSelf()
+	}
+	if f.KillRate > 0 && search.FaultFrac(f.Seed, key, int64(attempt)) < f.KillRate {
+		killSelf()
+	}
+	if f.WedgeKey != "" && key == f.WedgeKey && attempt == 1 {
+		select {} // wedge forever; the coordinator kills us
+	}
+}
+
+// preReply fires the slow-result injection: the evaluation is done and
+// heartbeats still flow, but the result is held past the lease
+// deadline, so the coordinator reassigns the lease and must dedup our
+// late completion.
+func (f *WorkerFaults) preReply(key string, attempt int) {
+	if f.SlowKey != "" && key == f.SlowKey && attempt == 1 && f.Slow > 0 {
+		time.Sleep(f.Slow)
+	}
+}
+
+// killSelf delivers an uncatchable SIGKILL to this process, simulating
+// the batch scheduler's kill without any goodbye on the pipe.
+func killSelf() {
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {} // unreachable; SIGKILL cannot be handled
+}
+
+// heartbeats beats on the transport until stopped; the returned stop
+// waits for the beater to exit so a heartbeat can never trail the
+// lease's result frame.
+func heartbeats(tr Transport, lease int64, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if tr.Send(Msg{Type: MsgHeartbeat, Lease: lease}) != nil {
+					return
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// runEval evaluates one lease, converting a panic into a fault reply.
+// The Transient contract of the panic value survives the wire via the
+// persistent flag, so the coordinator's WorkerFault re-classifies
+// identically to an in-process run.
+func runEval(eval search.Evaluator, asn map[string]int) (ev *search.Evaluation, fault string, faulted, persistent bool) {
+	a := transform.Assignment(asn)
+	if a == nil {
+		a = transform.Assignment{}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			faulted = true
+			if err, ok := r.(error); ok {
+				fault = err.Error()
+			} else {
+				fault = fmt.Sprint(r)
+			}
+			if t, ok := r.(interface{ Transient() bool }); ok && !t.Transient() {
+				persistent = true
+			}
+		}
+	}()
+	ev = eval.Evaluate(a)
+	return
+}

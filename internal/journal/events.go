@@ -65,9 +65,43 @@ type EventRecord struct {
 	// BackoffNS is the backoff delay in nanoseconds slept before a retry
 	// (retry events only).
 	BackoffNS int64 `json:"backoff_ns,omitempty"`
+	// Worker is the fleet worker slot the event concerns (fleet events
+	// only; 1-based on the wire — see EventRecord.SetWorker — so worker
+	// 0 survives omitempty).
+	Worker int `json:"worker,omitempty"`
 	// Rec is the salvaged evaluation (EventSalvaged only).
 	Rec *Record `json:"rec,omitempty"`
 }
+
+// SetWorker records a fleet worker slot ID (0-based, -1 = none) in the
+// 1-based wire encoding.
+func (r *EventRecord) SetWorker(id int) {
+	if id >= 0 {
+		r.Worker = id + 1
+	}
+}
+
+// WorkerID returns the 0-based fleet worker slot ID, or -1 if the
+// event carries none.
+func (r *EventRecord) WorkerID() int { return r.Worker - 1 }
+
+// SyncMode selects the sidecar's append durability — an explicit,
+// test-pinned contract rather than an accident of implementation.
+type SyncMode int
+
+const (
+	// SyncEveryAppend fsyncs after every record: the main journal's
+	// durability, and the default. Resume-critical records (quarantine,
+	// salvage) and the fleet coordinator's lease/restart/degrade trail
+	// need it — a quarantine acknowledged in memory but lost to a crash
+	// would let the next run re-crash on the same poisoned assignment.
+	SyncEveryAppend SyncMode = iota
+	// SyncOnClose writes each record to the OS immediately (so it
+	// survives a *process* crash) but fsyncs only on Close/Sync: records
+	// since the last sync can be lost to a machine crash or power cut.
+	// Acceptable only for bulk telemetry nobody resumes from.
+	SyncOnClose
+)
 
 // EventLog is an open events sidecar. Append is safe for concurrent
 // use: the supervisor emits events from evaluation workers.
@@ -76,7 +110,26 @@ type EventLog struct {
 	header  Header
 	mu      sync.Mutex
 	f       *os.File
+	mode    SyncMode
 	records []EventRecord
+}
+
+// SetSyncMode selects the append durability (default SyncEveryAppend).
+func (e *EventLog) SetSyncMode(m SyncMode) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mode = m
+}
+
+// Sync forces buffered appends to stable storage (meaningful under
+// SyncOnClose; a no-op after every append under SyncEveryAppend).
+func (e *EventLog) Sync() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.f == nil {
+		return nil
+	}
+	return e.f.Sync()
 }
 
 // Path returns the event log's file path.
@@ -211,9 +264,11 @@ func parseEvents(raw []byte) (Header, []EventRecord, error) {
 	return h, recs, nil
 }
 
-// Append serializes one event record, appends it as a line, and fsyncs
-// before returning: a quarantine acknowledged here must survive the
-// very crash it protects the next run from.
+// Append serializes one event record and appends it as a line. Under
+// the default SyncEveryAppend mode it fsyncs before returning: a
+// quarantine acknowledged here must survive the very crash it protects
+// the next run from, and a fleet lease/restart/degrade trail must
+// survive the coordinator dying mid-tune.
 func (e *EventLog) Append(r EventRecord) error {
 	if r.Rec != nil && r.Rec.Key == "" {
 		r.Rec.Key = RecordKey(e.header.Fingerprint, r.Rec.AKey)
@@ -235,20 +290,27 @@ func (e *EventLog) writeLine(v any) error {
 	if _, err := e.f.Write(b); err != nil {
 		return fmt.Errorf("journal: append to %s: %w", e.path, err)
 	}
-	if err := e.f.Sync(); err != nil {
-		return fmt.Errorf("journal: fsync %s: %w", e.path, err)
+	if e.mode == SyncEveryAppend {
+		if err := e.f.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync %s: %w", e.path, err)
+		}
 	}
 	return nil
 }
 
-// Close releases the sidecar file handle.
+// Close fsyncs any buffered appends and releases the sidecar file
+// handle.
 func (e *EventLog) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.f == nil {
 		return nil
 	}
+	syncErr := e.f.Sync()
 	err := e.f.Close()
 	e.f = nil
+	if err == nil {
+		err = syncErr
+	}
 	return err
 }

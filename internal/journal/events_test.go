@@ -189,3 +189,91 @@ func TestEventsRejectsCorruptSalvagePayload(t *testing.T) {
 		t.Fatal("corrupt salvage payload accepted")
 	}
 }
+
+// TestEventsWorkerFieldRoundTrip: the fleet worker slot survives the
+// wire in its 1-based encoding, so worker 0 is distinguishable from "no
+// worker" under omitempty.
+func TestEventsWorkerFieldRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl.events")
+	h := eventsHeader()
+	e, err := CreateEvents(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withWorker := EventRecord{Type: "worker_exit", AKey: "a1"}
+	withWorker.SetWorker(0)
+	withoutWorker := EventRecord{Type: "degraded_to_local"}
+	withoutWorker.SetWorker(-1)
+	for _, r := range []EventRecord{withWorker, withoutWorker} {
+		if err := e.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := OpenEvents(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	recs := e2.Records()
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(recs))
+	}
+	if got := recs[0].WorkerID(); got != 0 {
+		t.Errorf("worker 0 round-tripped as %d", got)
+	}
+	if got := recs[1].WorkerID(); got >= 0 {
+		t.Errorf("no-worker event reports worker %d", got)
+	}
+	// Worker 0 must actually occupy bytes on the wire (omitempty would
+	// silently drop a 0-valued field).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"worker":1`) {
+		t.Error("worker 0 not encoded on the wire")
+	}
+}
+
+// TestEventsSyncModes pins the durability contract: SyncEveryAppend is
+// the default, and SyncOnClose still writes every record through to the
+// OS immediately — a process crash loses nothing, only a machine crash
+// can cost unsynced records.
+func TestEventsSyncModes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl.events")
+	h := eventsHeader()
+	e, err := CreateEvents(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetSyncMode(SyncOnClose)
+	if err := e.Append(EventRecord{Type: EventRetry, AKey: "a1", Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Without Close (the process-crash case): the record is visible to a
+	// fresh open because writes go straight to the file.
+	e2, err := OpenEvents(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e2.Records()); got != 1 {
+		t.Errorf("after relaxed-mode append without close: %d records, want 1", got)
+	}
+	e2.Close()
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The default mode is the synced one: a fresh log needs no SetSyncMode
+	// call to get main-journal durability.
+	var fresh EventLog
+	if fresh.mode != SyncEveryAppend {
+		t.Error("zero-value sync mode is not SyncEveryAppend")
+	}
+}

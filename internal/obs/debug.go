@@ -22,16 +22,27 @@ type DebugServer struct {
 	done chan struct{}
 }
 
+// DebugHandler is an extra endpoint mounted on the debug server (e.g.
+// the fleet coordinator's /debug/fleet health snapshot).
+type DebugHandler struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // ServeDebug starts a debug server on addr (e.g. "127.0.0.1:6060";
 // ":0" picks a free port — see Addr). The registry may be nil, in
-// which case /debug/metrics serves an empty snapshot.
-func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+// which case /debug/metrics serves an empty snapshot. Extra handlers
+// are mounted on the same private mux.
+func ServeDebug(addr string, reg *Registry, extras ...DebugHandler) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	reg.PublishExpvar()
 	mux := http.NewServeMux()
+	for _, ex := range extras {
+		mux.Handle(ex.Pattern, ex.Handler)
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

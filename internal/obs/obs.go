@@ -21,6 +21,7 @@ const (
 	SpanRetry         = "retry"          // one resilience retry (backoff + re-attempt)
 	SpanInterpRun     = "interp.run"     // one interpreter execution
 	SpanJournalAppend = "journal.append" // one fsync'd journal record
+	SpanFleetLease    = "fleet.lease"    // one lease round trip to a fleet worker
 )
 
 // Metric names. Counters unless noted; the *Prefix constants are
@@ -48,8 +49,26 @@ const (
 	MetricNumericDiscretizations = "numeric_discretizations"    // int/nint/floor results flipped vs shadow
 	MetricNumericNonFinite       = "numeric_nonfinite"          // non-finite values born in the primary lane
 
+	// Fleet counters, populated only when evaluations are sharded
+	// across worker subprocesses (core Options.Fleet / prose tune
+	// -workers).
+	MetricFleetLeases             = "fleet_leases"          // leases granted to workers
+	MetricFleetLeaseExpired       = "fleet_lease_expired"   // leases past their deadline, reassigned
+	MetricFleetLateResults        = "fleet_late_results"    // stale completions dropped (exactly-once dedup)
+	MetricFleetWorkerExits        = "fleet_worker_exits"    // worker process deaths (exit or heartbeat loss)
+	MetricFleetRestarts           = "fleet_worker_restarts" // worker processes respawned
+	MetricFleetHeartbeats         = "fleet_heartbeats"      // worker heartbeats received
+	MetricFleetLocalEvals         = "fleet_local_evals"     // evaluations run in-process after a degrade
+	MetricFleetWorkerLeasesPrefix = "fleet_worker_leases_"  // fleet_worker_leases_<id>: leases completed per worker
+
 	GaugeBestSpeedup = "best_speedup" // best passing speedup so far
 	GaugeBreakerOpen = "breaker_open" // 1 while the circuit breaker is open
+
+	GaugeFleetWorkersAlive = "fleet_workers_alive" // live worker processes
+	GaugeFleetDegraded     = "fleet_degraded"      // 1 after the fleet degraded to in-process evaluation
+	// Per-worker gauges keyed by slot ID.
+	GaugeFleetWorkerStatePrefix    = "fleet_worker_state_"    // numeric fleet.WorkerState
+	GaugeFleetWorkerRestartsPrefix = "fleet_worker_restarts_" // respawns per worker slot
 
 	HistQueueWaitNS       = "queue_wait_ns"      // batch job wait for a worker slot
 	HistEvalRunNS         = "eval_run_ns"        // evaluation wall time once running

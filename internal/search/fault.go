@@ -103,6 +103,16 @@ func (f *FaultInjector) bump(key string) int64 {
 	return c.(*atomic.Int64).Add(1)
 }
 
+// FaultFrac hashes (seed, key, attempt) to a uniform fraction in
+// [0, 1) — the decision stream behind FaultFlaky. Exported so
+// process-level fault injection (the fleet worker's kill-rate mode)
+// draws deaths from the same deterministic, order-independent stream:
+// whether a kill is simulated in-process or delivered as a real
+// SIGKILL, the set of (key, attempt) pairs that die is identical.
+func FaultFrac(seed int64, key string, attempt int64) float64 {
+	return faultFrac(seed, key, attempt)
+}
+
 // faultFrac hashes (seed, key, attempt) to a uniform fraction in [0, 1).
 // FNV-1a alone avalanches its final bytes poorly (a trailing counter
 // only perturbs the low ~42 bits), so the sum is passed through a

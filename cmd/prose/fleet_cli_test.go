@@ -3,9 +3,12 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"net"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // TestMain lets this test binary stand in for the prose executable when
@@ -51,6 +54,87 @@ func TestTuneWorkersJournalMatchesInProcess(t *testing.T) {
 	}
 	// The fleet trail must be inspectable after the fact.
 	if err := cmdJournal([]string{fleetPath}); err != nil {
+		t.Fatalf("journal summary: %v", err)
+	}
+}
+
+// pickPort reserves a free loopback port and releases it for the CLI
+// under test to bind. (The small race with another process is
+// acceptable in a test.)
+func pickPort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestTuneListenJournalMatchesInProcess runs the full network CLI path:
+// `tune -listen` with chaos injection, plus two `worker -connect`
+// subprocesses (this test binary re-execed, exactly as a remote host
+// would run them), must write the same journal bytes as the plain
+// in-process tune.
+func TestTuneListenJournalMatchesInProcess(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.jsonl")
+	if err := cmdTune([]string{"-model", "funarc", "-journal", ref}); err != nil {
+		t.Fatalf("in-process tune: %v", err)
+	}
+
+	addr := pickPort(t)
+	netPath := filepath.Join(dir, "net.jsonl")
+	tuneDone := make(chan error, 1)
+	go func() {
+		tuneDone <- cmdTune([]string{"-model", "funarc", "-journal", netPath,
+			"-workers", "2", "-listen", addr,
+			"-lease-ttl", "2s", "-worker-heartbeat", "50ms",
+			"-fleet-chaos-drop", "0.02", "-fleet-chaos-dup", "0.05",
+			"-fleet-chaos-reorder", "0.02", "-fleet-chaos-seed", "7"})
+	}()
+
+	var workers []*exec.Cmd
+	for i := 1; i <= 2; i++ {
+		cmd := exec.Command(os.Args[0], "worker",
+			"-connect", addr, "-model", "funarc", "-seed", "1",
+			"-session", fmt.Sprintf("w%d", i), "-heartbeat", "50ms",
+			"-reconnect-backoff", "20ms", "-max-dials", "50")
+		cmd.Stderr = os.Stderr
+		cmd.Env = append(os.Environ(), "PROSE_FLEET_WORKER=1")
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start worker %d: %v", i, err)
+		}
+		workers = append(workers, cmd)
+	}
+
+	select {
+	case err := <-tuneDone:
+		if err != nil {
+			t.Fatalf("network tune: %v", err)
+		}
+	case <-time.After(5 * time.Minute):
+		t.Fatal("network tune did not finish")
+	}
+	for i, cmd := range workers {
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("worker %d exit: %v", i+1, err)
+		}
+	}
+
+	a, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(netPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("network-fleet journal differs from in-process journal")
+	}
+	if err := cmdJournal([]string{netPath}); err != nil {
 		t.Fatalf("journal summary: %v", err)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"sort"
@@ -125,8 +126,8 @@ commands:
   baseline   profile a model baseline (hotspot share, per-procedure times)
   atoms      list a model's search atoms (tunable FP declarations)
   tune       run the delta-debugging precision-tuning search
-  worker     serve evaluations to a tune -workers coordinator (spawned, not
-             usually run by hand)
+  worker     serve evaluations to a tune -workers coordinator (spawned over
+             pipes, or dialing a tune -listen address with -connect)
   variant    apply a precision assignment and print the generated source
   reduce     taint-based program reduction for target variables (paper III-C)
   blame      one-at-a-time precision sensitivity ranking (ADAPT-style)
@@ -238,6 +239,14 @@ func cmdTune(args []string) error {
 	fleetKillRate := fs.Float64("fleet-kill-rate", 0, "fault injection: each worker SIGKILLs itself before evaluating with this probability per (key, attempt), deterministic in -fleet-fault-seed")
 	fleetFaultSeed := fs.Int64("fleet-fault-seed", 1, "fault injection: seed for -fleet-kill-rate decisions")
 	fleetWedgeKey := fs.String("fleet-wedge-key", "", "fault injection: the worker leased this assignment key wedges (stops heartbeating) on its first attempt")
+	listen := fs.String("listen", "", "fleet: accept -workers N off-host workers over TCP on this address instead of spawning subprocesses; workers dial in with 'prose worker -connect'")
+	chaosDrop := fs.Float64("fleet-chaos-drop", 0, "network chaos (with -listen): drop each frame with this probability, deterministic in -fleet-chaos-seed")
+	chaosDup := fs.Float64("fleet-chaos-dup", 0, "network chaos: deliver each frame twice with this probability")
+	chaosReorder := fs.Float64("fleet-chaos-reorder", 0, "network chaos: hold each frame past its successor with this probability")
+	chaosDelay := fs.Duration("fleet-chaos-delay", 0, "network chaos: add this latency to every frame")
+	chaosPartition := fs.Float64("fleet-chaos-partition", 0, "network chaos: start a hard partition window at each frame with this probability (severs connections, eats dials)")
+	chaosPartitionFor := fs.Duration("fleet-chaos-partition-for", 150*time.Millisecond, "network chaos: duration of each -fleet-chaos-partition window")
+	chaosSeed := fs.Int64("fleet-chaos-seed", 1, "network chaos: seed for all chaos decisions")
 	verbose := fs.Bool("v", false, "print each variant as it is evaluated")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -313,36 +322,16 @@ func cmdTune(args []string) error {
 	// parallelism, are not fingerprinted — the journal is byte-identical
 	// at any pool size.
 	var coord *fleet.Coordinator
+	if *listen != "" && *workers == 0 {
+		return fmt.Errorf("tune: -listen needs -workers N (the expected pool size)")
+	}
 	if *workers > 0 {
 		if opts.Parallelism < *workers {
 			// Fewer search slots than workers would leave workers idle.
 			opts.Parallelism = *workers
 		}
-		exe, xerr := os.Executable()
-		if xerr != nil {
-			return fmt.Errorf("tune: -workers: %w", xerr)
-		}
-		wargs := []string{"worker",
-			"-model", m.Name,
-			fmt.Sprintf("-seed=%d", *seed),
-			fmt.Sprintf("-budget=%d", *budget),
-			"-engine", *engineName,
-			fmt.Sprintf("-heartbeat=%s", *workerHeartbeat),
-		}
-		if *whole {
-			wargs = append(wargs, "-whole-model")
-		}
-		if *fleetKillRate > 0 {
-			wargs = append(wargs,
-				fmt.Sprintf("-fault-kill-rate=%g", *fleetKillRate),
-				fmt.Sprintf("-fault-seed=%d", *fleetFaultSeed))
-		}
-		if *fleetWedgeKey != "" {
-			wargs = append(wargs, "-fault-wedge-key", *fleetWedgeKey)
-		}
-		coord, err = fleet.New(fleet.Config{
+		fcfg := fleet.Config{
 			Workers:     *workers,
-			Spawn:       fleet.Command(exe, wargs...),
 			LeaseTTL:    *leaseTTL,
 			Heartbeat:   *workerHeartbeat,
 			MaxRestarts: *workerRestarts,
@@ -352,7 +341,57 @@ func cmdTune(args []string) error {
 					fmt.Fprintf(os.Stderr, "prose: fleet degraded to in-process evaluation: %s\n", e.Detail)
 				}
 			},
-		})
+		}
+		if *listen != "" {
+			// -listen: off-host workers dial in over TCP instead of
+			// being spawned. The fingerprint handshake still rejects
+			// drift; the -fleet-chaos-* knobs inject deterministic
+			// network faults for smoke runs and tests.
+			ln, lerr := net.Listen("tcp", *listen)
+			if lerr != nil {
+				return fmt.Errorf("tune: -listen: %w", lerr)
+			}
+			ncfg := &fleet.NetConfig{Listener: ln}
+			if *chaosDrop > 0 || *chaosDup > 0 || *chaosReorder > 0 || *chaosDelay > 0 || *chaosPartition > 0 {
+				ncfg.Chaos = &fleet.ChaosConfig{
+					Seed:         *chaosSeed,
+					Drop:         *chaosDrop,
+					Dup:          *chaosDup,
+					Reorder:      *chaosReorder,
+					Delay:        *chaosDelay,
+					Partition:    *chaosPartition,
+					PartitionFor: *chaosPartitionFor,
+				}
+			}
+			fcfg.Net = ncfg
+			fmt.Fprintf(os.Stderr, "prose: fleet listening on %s for %d worker(s); connect with: prose worker -connect %s -model %s -seed %d\n",
+				ln.Addr(), *workers, ln.Addr(), m.Name, *seed)
+		} else {
+			exe, xerr := os.Executable()
+			if xerr != nil {
+				return fmt.Errorf("tune: -workers: %w", xerr)
+			}
+			wargs := []string{"worker",
+				"-model", m.Name,
+				fmt.Sprintf("-seed=%d", *seed),
+				fmt.Sprintf("-budget=%d", *budget),
+				"-engine", *engineName,
+				fmt.Sprintf("-heartbeat=%s", *workerHeartbeat),
+			}
+			if *whole {
+				wargs = append(wargs, "-whole-model")
+			}
+			if *fleetKillRate > 0 {
+				wargs = append(wargs,
+					fmt.Sprintf("-fault-kill-rate=%g", *fleetKillRate),
+					fmt.Sprintf("-fault-seed=%d", *fleetFaultSeed))
+			}
+			if *fleetWedgeKey != "" {
+				wargs = append(wargs, "-fault-wedge-key", *fleetWedgeKey)
+			}
+			fcfg.Spawn = fleet.Command(exe, wargs...)
+		}
+		coord, err = fleet.New(fcfg)
 		if err != nil {
 			return fmt.Errorf("tune: %w", err)
 		}
@@ -688,6 +727,10 @@ func cmdJournal(args []string) error {
 			fmt.Printf("  fleet workers: %d death(s), %d restart(s), %d retired\n",
 				deaths, byType[fleet.EventWorkerRestart], byType[fleet.EventWorkerDead])
 		}
+		if n := byType[fleet.EventWorkerReconnect] + byType[fleet.EventPartitionExpired] + byType[fleet.EventDupRefused]; n > 0 {
+			fmt.Printf("  fleet network: %d reconnect(s), %d partition-expired lease(s), %d duplicate frame(s) refused\n",
+				byType[fleet.EventWorkerReconnect], byType[fleet.EventPartitionExpired], byType[fleet.EventDupRefused])
+		}
 		if n := byType[fleet.EventDegraded]; n > 0 {
 			fmt.Printf("  fleet DEGRADED to in-process evaluation (%d transition(s))\n", n)
 		}
@@ -762,6 +805,12 @@ func journalJSON(path string, records bool) error {
 				dump.Metrics[obs.MetricFleetWorkerExits]++
 			case fleet.EventWorkerRestart:
 				dump.Metrics[obs.MetricFleetRestarts]++
+			case fleet.EventWorkerReconnect:
+				dump.Metrics[obs.MetricFleetNetReconnects]++
+			case fleet.EventPartitionExpired:
+				dump.Metrics[obs.MetricFleetNetPartitionExpired]++
+			case fleet.EventDupRefused:
+				dump.Metrics[obs.MetricFleetNetDupRefused]++
 			}
 		}
 	}

@@ -29,6 +29,11 @@ func cmdWorker(args []string) error {
 	budget := fs.Int("budget", 0, "max distinct variant evaluations (must match the coordinator)")
 	engineName := fs.String("engine", "vm", "interpreter engine (must match the coordinator)")
 	heartbeat := fs.Duration("heartbeat", fleet.DefaultHeartbeat, "heartbeat interval while evaluating")
+	connect := fs.String("connect", "", "dial a 'prose tune -listen' coordinator over TCP instead of serving stdin/stdout; reconnects with session resume on connection loss")
+	session := fs.String("session", "", "with -connect: stable session ID for lease resume across reconnects (default: random)")
+	missLimit := fs.Int("heartbeat-miss-limit", fleet.DefaultHeartbeatMissLimit, "with -connect: consecutive failed heartbeat sends before the worker reconnects")
+	reconnectBackoff := fs.Duration("reconnect-backoff", fleet.DefaultReconnectBackoff, "with -connect: base backoff between dial attempts (doubles, capped)")
+	maxDials := fs.Int("max-dials", fleet.DefaultMaxDials, "with -connect: dial attempts per reconnect before giving up")
 	killRate := fs.Float64("fault-kill-rate", 0, "fault injection: SIGKILL self before evaluating with this probability per (key, attempt)")
 	faultSeed := fs.Int64("fault-seed", 1, "fault injection: seed for -fault-kill-rate decisions")
 	crashKey := fs.String("fault-crash-key", "", "fault injection: SIGKILL self when leased this assignment key")
@@ -46,16 +51,40 @@ func cmdWorker(args []string) error {
 	if err != nil {
 		return err
 	}
-	// The coordinator owns this process's lifetime: a ^C at the
-	// terminal reaches the whole process group, but the orderly path is
-	// the coordinator's shutdown message (or it killing us), not the
-	// worker racing it to exit mid-lease.
-	signal.Ignore(os.Interrupt, syscall.SIGTERM)
+	if *connect == "" {
+		// The coordinator owns this process's lifetime: a ^C at the
+		// terminal reaches the whole process group, but the orderly
+		// path is the coordinator's shutdown message (or it killing
+		// us), not the worker racing it to exit mid-lease. A -connect
+		// worker runs by hand on a remote host instead, so it keeps
+		// default signal handling.
+		signal.Ignore(os.Interrupt, syscall.SIGTERM)
+	}
 	t, err := core.New(m, core.Options{
 		Seed: *seed, WholeModel: *whole, MaxEvaluations: *budget, Engine: engine,
 	})
 	if err != nil {
 		return err
+	}
+	if *connect != "" {
+		return fleet.ServeNet(fleet.NetServeConfig{
+			Addr:               *connect,
+			Eval:               t,
+			Fingerprint:        t.Fingerprint(),
+			Session:            *session,
+			Heartbeat:          *heartbeat,
+			HeartbeatMissLimit: *missLimit,
+			ReconnectBackoff:   *reconnectBackoff,
+			MaxDials:           *maxDials,
+			Fault: fleet.WorkerFaults{
+				KillRate: *killRate,
+				Seed:     *faultSeed,
+				CrashKey: *crashKey,
+				WedgeKey: *wedgeKey,
+				SlowKey:  *slowKey,
+				Slow:     *slow,
+			},
+		})
 	}
 	return fleet.Serve(fleet.ServeConfig{
 		Transport:   fleet.NewPipeTransport(os.Stdin, os.Stdout),

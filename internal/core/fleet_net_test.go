@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/journal"
+	"repro/internal/models"
+)
+
+// TestFleetNetChaosJournalByteIdentity is PR 8's headline invariant,
+// the network edition of TestFleetJournalByteIdentity: a tune whose
+// workers dial in over TCP — through a deterministically seeded chaos
+// layer injecting latency, drops, duplicates, reorders, and hard
+// partition windows — produces an evaluation journal byte-identical to
+// the fault-free in-process run's, at pool size 1 and 8. The chaos is
+// visible only in the events sidecar (worker_reconnect,
+// partition_expired, dup_refused) and the fleet stats; it never
+// reaches an outcome.
+func TestFleetNetChaosJournalByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.jsonl")
+	refRes, err, fault := runJournaled(t, Options{Seed: 1, JournalPath: refPath})
+	if err != nil || fault != nil {
+		t.Fatalf("reference run: err=%v fault=%v", err, fault)
+	}
+	refBytes, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMin := fmt.Sprint(refRes.Outcome.Minimal)
+
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Chaos rates tuned so every failure mode fires on funarc's
+			// evaluation stream while supervised retries (budget 10)
+			// absorb the partition-expired leases without a quarantine
+			// (pinned by the zero-infra assertion below).
+			coord, err := fleet.New(fleet.Config{
+				Workers:   workers,
+				Heartbeat: 50 * time.Millisecond,
+				LeaseTTL:  2 * time.Second,
+				// Network incidents never charge the restart budget, but
+				// garbled in-flight frames during a severed write can;
+				// give the chaos run the same headroom as the kill test.
+				MaxRestarts:    100,
+				RestartBackoff: 20 * time.Millisecond,
+				Net: &fleet.NetConfig{
+					Listener: ln,
+					Chaos: &fleet.ChaosConfig{
+						Seed:         7,
+						Drop:         0.05,
+						Dup:          0.05,
+						Reorder:      0.03,
+						Partition:    0.04,
+						PartitionFor: 150 * time.Millisecond,
+						Delay:        time.Millisecond,
+					},
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Real tuner workers, dialing in like `prose worker -connect`
+			// — in-process goroutines so the test stays hermetic, but on
+			// the production ServeNet loop over real TCP connections.
+			var wg sync.WaitGroup
+			for i := 0; i < workers; i++ {
+				tuner, err := New(models.Funarc(), Options{Seed: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					fleet.ServeNet(fleet.NetServeConfig{
+						Addr:               ln.Addr().String(),
+						Eval:               tuner,
+						Fingerprint:        tuner.Fingerprint(),
+						Session:            fmt.Sprintf("w%d", i),
+						Heartbeat:          50 * time.Millisecond,
+						HeartbeatMissLimit: 3,
+						SendTimeout:        2 * time.Second,
+						DialTimeout:        2 * time.Second,
+						ReconnectBackoff:   20 * time.Millisecond,
+						MaxDials:           50,
+					})
+				}(i)
+			}
+
+			path := filepath.Join(dir, fmt.Sprintf("net%d.jsonl", workers))
+			res, err, fault := runJournaled(t, Options{
+				Seed: 1, JournalPath: path,
+				Parallelism: workers, Fleet: coord,
+				Retries: 10,
+			})
+			if err != nil || fault != nil {
+				t.Fatalf("network fleet run: err=%v fault=%v", err, fault)
+			}
+			wg.Wait()
+
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, refBytes) {
+				t.Errorf("network-chaos journal differs from the fault-free in-process journal")
+			}
+			if min := fmt.Sprint(res.Outcome.Minimal); min != refMin {
+				t.Errorf("minimal set %s, want %s", min, refMin)
+			}
+			if res.Fleet == nil {
+				t.Fatal("Result.Fleet not populated")
+			}
+			if res.Fleet.Degraded {
+				t.Errorf("fleet degraded under chaos: %s", res.Fleet.DegradeDetail)
+			}
+			// Chaos must cost only retries and reconnects, never
+			// outcomes: a quarantine would surface as a StatusInfra
+			// record and break byte identity.
+			if n := res.Outcome.Log.InfraCount(); n != 0 {
+				t.Errorf("%d quarantined assignment(s); want 0", n)
+			}
+			// The chaos left a trace: at least one network incident in
+			// the stats and its event in the sidecar. (Which kinds fire
+			// depends on where the seeded windows land relative to the
+			// lease stream, so the assertion is on the sum.)
+			incidents := res.Fleet.Reconnects + res.Fleet.PartitionExpired + res.Fleet.DupRefused
+			if incidents == 0 {
+				t.Errorf("no network incidents recorded; the chaos injection did not fire: %+v", res.Fleet)
+			}
+			_, evs, err := journal.InspectEvents(journal.EventsPath(path))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var netEvents int
+			for _, e := range evs {
+				switch e.Type {
+				case fleet.EventWorkerReconnect, fleet.EventPartitionExpired, fleet.EventDupRefused:
+					netEvents++
+				}
+			}
+			if netEvents == 0 {
+				t.Error("no network events in the sidecar")
+			}
+			// And in the report.
+			if rep := res.Render(); !strings.Contains(rep, "fleet network:") {
+				t.Errorf("report lacks the fleet network line:\n%s", rep)
+			}
+		})
+	}
+}

@@ -102,6 +102,10 @@ func (r *Result) Render() string {
 	if st := r.Fleet; st != nil {
 		fmt.Fprintf(&sb, "  fleet: %d worker(s) (%d alive at end), %d lease(s), %d expired, %d late result(s) dropped, %d worker death(s), %d restart(s)\n",
 			st.Workers, st.Alive, st.Leases, st.Expired, st.Late, st.Exits, st.Restarts)
+		if st.Reconnects > 0 || st.PartitionExpired > 0 || st.DupRefused > 0 || st.FrameErrors > 0 {
+			fmt.Fprintf(&sb, "  fleet network: %d reconnect(s), %d partition-expired lease(s), %d duplicate frame(s) refused, %d frame error(s)\n",
+				st.Reconnects, st.PartitionExpired, st.DupRefused, st.FrameErrors)
+		}
 		if st.Degraded {
 			fmt.Fprintf(&sb, "  fleet DEGRADED to in-process evaluation (%d local eval(s)): %s\n",
 				st.LocalEvals, st.DegradeDetail)

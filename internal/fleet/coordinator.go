@@ -3,7 +3,9 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/exec"
@@ -61,6 +63,17 @@ const (
 	// match the coordinator's; it was retired before receiving any
 	// lease, because its evaluations would not reproduce the journal.
 	EventFingerprintMismatch = "fingerprint_mismatch"
+	// EventWorkerReconnect: a network worker re-established its session
+	// after a connection loss, resuming into the same slot.
+	EventWorkerReconnect = "worker_reconnect"
+	// EventPartitionExpired: a lease parked across a network partition
+	// reached its deadline before its worker returned; it was failed
+	// for supervised reassignment.
+	EventPartitionExpired = "partition_expired"
+	// EventDupRefused: a duplicate or stale frame — a network
+	// duplication or a reply outliving its lease — was refused by the
+	// exactly-once dedup.
+	EventDupRefused = "dup_refused"
 )
 
 // Event is one observable fleet decision, bridged by the tuner into the
@@ -140,8 +153,13 @@ func (p *procHandle) Pid() int {
 type Config struct {
 	// Workers is the pool size (required, >= 1).
 	Workers int
-	// Spawn launches one worker (required).
+	// Spawn launches one worker. Exactly one of Spawn and Net must be
+	// set: Spawn for subprocess (pipe) workers, Net for off-host
+	// workers that dial in.
 	Spawn SpawnFunc
+	// Net accepts dialing network workers instead of spawning
+	// subprocesses (see NetConfig). Exactly one of Spawn and Net.
+	Net *NetConfig
 	// LeaseTTL bounds one evaluation's wall-clock time on a worker; an
 	// expired lease is failed as a hang fault and reassigned by the
 	// supervisor's retry.
@@ -262,6 +280,8 @@ type WorkerHealth struct {
 	// grant) while busy; -1 otherwise.
 	HeartbeatAgeMS int64  `json:"heartbeat_age_ms"`
 	LastFault      string `json:"last_fault,omitempty"`
+	// Session is the network worker session bound to this slot, if any.
+	Session string `json:"session,omitempty"`
 }
 
 // Stats is a snapshot of fleet counters for the run report.
@@ -289,6 +309,17 @@ type Stats struct {
 	Degraded bool
 	// DegradeDetail is the cause of the degrade.
 	DegradeDetail string
+	// Reconnects is the number of network-worker session resumes.
+	Reconnects int64
+	// PartitionExpired is the number of leases parked across a network
+	// partition that expired before their worker reconnected.
+	PartitionExpired int64
+	// DupRefused is the number of duplicate or stale network frames
+	// refused by the exactly-once dedup.
+	DupRefused int64
+	// FrameErrors is the number of malformed or oversized frames that
+	// retired a connection.
+	FrameErrors int64
 }
 
 // slot is one worker slot's bookkeeping, guarded by Coordinator.mu.
@@ -301,6 +332,16 @@ type slot struct {
 	currentKey string
 	lastBeat   time.Time
 	lastFault  string
+
+	// Network mode only: the bound worker session, its in-flight
+	// lease parked across a disconnect (with the timer that expires
+	// it), the channel admit hands fresh connections through, and the
+	// live connection (closed by admit when the session redials).
+	session     string
+	orphan      *lease
+	orphanTimer *time.Timer
+	netCh       chan *netConn
+	netLive     net.Conn
 }
 
 // Coordinator shards evaluations across a pool of worker subprocesses.
@@ -328,6 +369,14 @@ type Coordinator struct {
 	degraded bool
 	detail   string
 	st       Stats
+
+	// Network mode only (guarded by mu): session → bound slot routing,
+	// the set of sessions ever admitted (a re-admission of a known
+	// session is a reconnect), and the shared chaos state for accepted
+	// connections.
+	sessions     map[string]*slot
+	seenSessions map[string]bool
+	nchaos       *chaos
 }
 
 // New validates the configuration and returns an unstarted Coordinator.
@@ -335,8 +384,14 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("fleet: Workers must be >= 1 (got %d)", cfg.Workers)
 	}
-	if cfg.Spawn == nil {
+	if cfg.Spawn == nil && cfg.Net == nil {
 		return nil, fmt.Errorf("fleet: Spawn is required")
+	}
+	if cfg.Spawn != nil && cfg.Net != nil {
+		return nil, fmt.Errorf("fleet: Spawn and Net are mutually exclusive")
+	}
+	if cfg.Net != nil && cfg.Net.Listener == nil {
+		return nil, fmt.Errorf("fleet: Net.Listener is required")
 	}
 	cfg.withDefaults()
 	if cfg.MinWorkers > cfg.Workers {
@@ -371,12 +426,32 @@ func (c *Coordinator) Start(ctx context.Context, rt Runtime) error {
 		ctx = context.Background()
 	}
 	c.ctx, c.cancel = context.WithCancel(ctx)
+	netMode := c.cfg.Net != nil
+	if netMode {
+		c.sessions = make(map[string]*slot)
+		c.seenSessions = make(map[string]bool)
+		c.nchaos = newChaos(c.cfg.Net.Chaos)
+	}
 	for i := 0; i < c.cfg.Workers; i++ {
 		s := &slot{id: i, state: StateSpawning}
+		if netMode {
+			s.netCh = make(chan *netConn, 1)
+		}
 		c.slots = append(c.slots, s)
 	}
 	slots := c.slots
 	c.mu.Unlock()
+	if netMode {
+		// The listener dies with the context; closing it is what
+		// unblocks the accept loop.
+		c.wg.Add(2)
+		go func() {
+			defer c.wg.Done()
+			<-c.ctx.Done()
+			c.cfg.Net.Listener.Close()
+		}()
+		go c.acceptLoop()
+	}
 	for _, s := range slots {
 		c.wg.Add(1)
 		go c.slotLoop(s)
@@ -394,6 +469,25 @@ func (c *Coordinator) Close() error {
 		cancel()
 	}
 	c.wg.Wait()
+	// Network mode: release anything still parked or queued — orphan
+	// timers must not fire after Close, and admitted-but-unclaimed
+	// connections must not leak.
+	c.mu.Lock()
+	for _, s := range c.slots {
+		if s.orphanTimer != nil {
+			s.orphanTimer.Stop()
+			s.orphanTimer = nil
+			s.orphan = nil
+		}
+		if s.netCh != nil {
+			select {
+			case nc := <-s.netCh:
+				nc.tr.Close()
+			default:
+			}
+		}
+	}
+	c.mu.Unlock()
 	return nil
 }
 
@@ -423,6 +517,7 @@ func (c *Coordinator) Health() []WorkerHealth {
 			LeasesDone: s.leasesDone,
 			CurrentKey: s.currentKey,
 			LastFault:  s.lastFault,
+			Session:    s.session,
 		}
 		h.HeartbeatAgeMS = -1
 		if (s.state == StateBusy || s.state == StateDraining) && !s.lastBeat.IsZero() {
@@ -518,18 +613,24 @@ func (c *Coordinator) retire(s *slot, why string) {
 type exitReason int
 
 const (
-	exitShutdown exitReason = iota // orderly: ctx done
-	exitMismatch                   // fingerprint handshake failed (no respawn)
-	exitCrash                      // process died or misbehaved (respawn)
-	exitLost                       // heartbeats stopped (killed; respawn)
-	exitExpired                    // lease expired, kill-on-expiry (respawn)
+	exitShutdown  exitReason = iota // orderly: ctx done
+	exitMismatch                    // fingerprint handshake failed (no respawn)
+	exitCrash                       // process died or misbehaved (respawn)
+	exitLost                        // heartbeats stopped (killed; respawn)
+	exitExpired                     // lease expired, kill-on-expiry (respawn)
+	exitPartition                   // network connection lost (net mode; await redial, no restart charge)
 )
 
 // slotLoop owns one worker slot: spawn, serve, and respawn with backoff
 // until the restart budget is spent, the fingerprint mismatches, or the
-// fleet shuts down.
+// fleet shuts down. In network mode the slot waits for dialing workers
+// instead of spawning (netSlotLoop).
 func (c *Coordinator) slotLoop(s *slot) {
 	defer c.wg.Done()
+	if c.cfg.Net != nil {
+		c.netSlotLoop(s)
+		return
+	}
 	for {
 		if c.ctx.Err() != nil {
 			c.setState(s, StateStopped)
@@ -547,7 +648,7 @@ func (c *Coordinator) slotLoop(s *slot) {
 			s.pid = proc.Pid()
 			c.mu.Unlock()
 			c.rt.Metrics.Gauge(obs.GaugeFleetWorkersAlive).Set(float64(c.aliveProcs(+1)))
-			reason, detail = c.serveWorker(s, tr)
+			reason, detail = c.serveWorker(s, tr, nil)
 			proc.Kill()
 			tr.Close()
 			proc.Wait()
@@ -603,21 +704,31 @@ func (c *Coordinator) statAdd(fn func(*Stats)) {
 	c.mu.Unlock()
 }
 
-// serveWorker drives one live worker process: handshake, then a
-// lease-serve loop. Every exit path resolves the in-flight lease (if
-// any) before returning, so no Evaluate caller is ever stranded.
-func (c *Coordinator) serveWorker(s *slot, tr Transport) (exitReason, string) {
+// workerReader pumps a transport's frames into a channel. err (set
+// before msgs closes; the close is the synchronization point) lets the
+// consumer distinguish a malformed frame from a plain disconnect.
+type workerReader struct {
+	msgs chan Msg
+	err  error
+}
+
+// serveWorker drives one live worker session: handshake, then a
+// lease-serve loop. nc is non-nil for network sessions; the pipe path
+// passes nil. Every exit path resolves or parks the in-flight lease
+// (if any) before returning, so no Evaluate caller is ever stranded.
+func (c *Coordinator) serveWorker(s *slot, tr Transport, nc *netConn) (exitReason, string) {
 	// The reader goroutine exits when Recv fails; the caller's tr.Close
 	// and proc.Kill guarantee that on every return path.
-	msgs := make(chan Msg, 16)
+	rd := &workerReader{msgs: make(chan Msg, 16)}
 	go func() {
-		defer close(msgs)
+		defer close(rd.msgs)
 		for {
 			m, err := tr.Recv()
 			if err != nil {
+				rd.err = err
 				return
 			}
-			msgs <- m
+			rd.msgs <- m
 		}
 	}()
 
@@ -625,7 +736,7 @@ func (c *Coordinator) serveWorker(s *slot, tr Transport) (exitReason, string) {
 	ready := time.NewTimer(c.cfg.ReadyTimeout)
 	defer ready.Stop()
 	select {
-	case m, ok := <-msgs:
+	case m, ok := <-rd.msgs:
 		if !ok {
 			return exitCrash, "worker exited before handshake"
 		}
@@ -644,6 +755,18 @@ func (c *Coordinator) serveWorker(s *slot, tr Transport) (exitReason, string) {
 		return exitShutdown, ""
 	}
 
+	// A reconnecting network session may still hold a parked lease:
+	// re-adopt it and resume driving — without a second grant, because
+	// the worker is mid-evaluation (or re-offering its reply) already.
+	if nc != nil {
+		if l := c.adoptOrphan(s, nc); l != nil {
+			reason, detail, next := c.driveLease(s, tr, l, rd, nc)
+			if !next {
+				return reason, detail
+			}
+		}
+	}
+
 	for {
 		c.setState(s, StateIdle)
 		l := c.q.acquire(c.ctx, s.id, c.cfg.LeaseTTL)
@@ -657,6 +780,9 @@ func (c *Coordinator) serveWorker(s *slot, tr Transport) (exitReason, string) {
 			c.q.fail(l.id, &WorkerFault{Key: l.job.key, Kind: resilience.KindSchedulerKill,
 				Msg: fmt.Sprintf("fleet: worker died before receiving the lease on %q", l.job.key)})
 			c.workerDied(s, l.job.key, l.job.attempt, detail)
+			if nc != nil {
+				return exitPartition, detail
+			}
 			return exitCrash, detail
 		}
 		c.mu.Lock()
@@ -668,7 +794,7 @@ func (c *Coordinator) serveWorker(s *slot, tr Transport) (exitReason, string) {
 		c.statAdd(func(st *Stats) { st.Leases++ })
 		c.event(Event{Type: EventLeaseGrant, Worker: s.id, Key: l.job.key, Attempt: l.job.attempt})
 
-		reason, detail, next := c.driveLease(s, tr, l, msgs)
+		reason, detail, next := c.driveLease(s, tr, l, rd, nc)
 		if !next {
 			return reason, detail
 		}
@@ -693,9 +819,11 @@ func (c *Coordinator) lateResult(s *slot, key string, attempt int) {
 }
 
 // driveLease runs one granted lease to its end: a result/fault frame, a
-// deadline expiry, heartbeat silence, process death, or shutdown. It
-// returns next=true when the worker survives to take another lease.
-func (c *Coordinator) driveLease(s *slot, tr Transport, l *lease, msgs <-chan Msg) (reason exitReason, detail string, next bool) {
+// deadline expiry, heartbeat silence, connection loss, process death,
+// or shutdown. It returns next=true when the worker survives to take
+// another lease. In network mode (nc non-nil) a lost connection parks
+// the lease for the session's reconnect instead of failing it.
+func (c *Coordinator) driveLease(s *slot, tr Transport, l *lease, rd *workerReader, nc *netConn) (reason exitReason, detail string, next bool) {
 	key, attempt := l.job.key, l.job.attempt
 	// draining: the lease has already been failed (expired) but the
 	// worker lives on (LetExpiredFinish) — we wait for its stale frame,
@@ -704,10 +832,47 @@ func (c *Coordinator) driveLease(s *slot, tr Transport, l *lease, msgs <-chan Ms
 	tick := time.NewTicker(c.cfg.Heartbeat / 2)
 	defer tick.Stop()
 	lastBeat := time.Now()
+	// leaseDone resets the slot's restart budget: a session that
+	// completes leases is healthy, so transient faults spread over a
+	// long run never add up to a spurious retirement.
+	leaseDone := func() {
+		c.mu.Lock()
+		s.leasesDone++
+		s.restarts = 0
+		c.mu.Unlock()
+	}
 	for {
 		select {
-		case m, ok := <-msgs:
+		case m, ok := <-rd.msgs:
 			if !ok {
+				var fe *FrameError
+				if errors.As(rd.err, &fe) {
+					// A malformed or oversized frame is a protocol breach,
+					// not a partition: fail the lease and retire the
+					// connection (the slot's restart budget bounds a
+					// garbage-sending peer).
+					det := fe.Error()
+					c.counter(obs.MetricFleetNetFrameErrors).Add(1)
+					c.statAdd(func(st *Stats) { st.FrameErrors++ })
+					if !draining {
+						c.q.fail(l.id, &WorkerFault{Key: key, Kind: resilience.KindSchedulerKill,
+							Msg: fmt.Sprintf("fleet: worker evaluating %q sent a malformed frame; retiring the connection", key)})
+					}
+					c.workerDied(s, key, attempt, det)
+					return exitCrash, det, false
+				}
+				if nc != nil {
+					// Connection lost: park the lease so the session's
+					// reconnect can re-adopt it; the orphan timer expires
+					// it at the original deadline if the worker never
+					// returns.
+					det := fmt.Sprintf("connection lost during evaluation of %q (attempt %d)", key, attempt)
+					if !draining {
+						c.parkOrphan(s, l)
+					}
+					c.workerDied(s, key, attempt, det)
+					return exitPartition, det, false
+				}
 				det := fmt.Sprintf("worker exited during evaluation of %q (attempt %d)", key, attempt)
 				if !draining {
 					c.q.fail(l.id, &WorkerFault{Key: key, Kind: resilience.KindSchedulerKill,
@@ -724,6 +889,13 @@ func (c *Coordinator) driveLease(s *slot, tr Transport, l *lease, msgs <-chan Ms
 				c.mu.Unlock()
 				c.counter(obs.MetricFleetHeartbeats).Add(1)
 			case MsgResult:
+				if m.Lease != l.id {
+					// A frame for another lease entirely — a network
+					// duplicate, or a reply that outlived its lease across
+					// a reconnect. The monotonic lease ID refuses it.
+					c.dupRefused(s, key, attempt)
+					continue
+				}
 				rec, err := decodeResult(c.rt.Fingerprint, key, m)
 				if err != nil {
 					// A corrupt result is a protocol breach: fail the lease
@@ -744,29 +916,31 @@ func (c *Coordinator) driveLease(s *slot, tr Transport, l *lease, msgs <-chan Ms
 					c.workerDied(s, key, attempt, det)
 					return exitCrash, det, false
 				}
-				if m.Lease != l.id || draining || !c.q.complete(l.id, ev) {
+				if draining || !c.q.complete(l.id, ev) {
 					c.lateResult(s, key, attempt)
 					if draining {
 						return 0, "", true
 					}
 					continue
 				}
-				c.mu.Lock()
-				s.leasesDone++
-				c.mu.Unlock()
+				leaseDone()
 				c.rt.Metrics.Counter(fmt.Sprintf("%s%d", obs.MetricFleetWorkerLeasesPrefix, s.id)).Add(1)
 				return 0, "", true
 			case MsgFault:
+				if m.Lease != l.id {
+					c.dupRefused(s, key, attempt)
+					continue
+				}
 				f := &WorkerFault{Key: key, Msg: m.Fault, Persistent: m.Persistent}
-				if m.Lease != l.id || draining || !c.q.fail(l.id, f) {
+				if draining || !c.q.fail(l.id, f) {
 					c.lateResult(s, key, attempt)
 					if draining {
 						return 0, "", true
 					}
 					continue
 				}
+				leaseDone()
 				c.mu.Lock()
-				s.leasesDone++
 				s.lastFault = m.Fault
 				c.mu.Unlock()
 				return 0, "", true
@@ -793,6 +967,21 @@ func (c *Coordinator) driveLease(s *slot, tr Transport, l *lease, msgs <-chan Ms
 			if now.Sub(lastBeat) > time.Duration(c.cfg.HeartbeatMisses)*c.cfg.Heartbeat {
 				det := fmt.Sprintf("no heartbeat for %v (%d misses) during %q; killing worker",
 					now.Sub(lastBeat).Round(time.Millisecond), c.cfg.HeartbeatMisses, key)
+				if nc != nil {
+					// Silence over the network is indistinguishable from a
+					// partition: sever the connection and park the lease —
+					// if the worker is alive behind a partition it will
+					// redial and resume; if it is truly wedged the orphan
+					// timer expires the lease at its original deadline.
+					if !draining {
+						c.parkOrphan(s, l)
+					}
+					c.counter(obs.MetricFleetWorkerExits).Add(1)
+					c.statAdd(func(st *Stats) { st.Exits++ })
+					c.event(Event{Type: EventWorkerLost, Worker: s.id, Key: key, Attempt: attempt,
+						Kind: resilience.KindHang, Detail: det})
+					return exitPartition, det, false
+				}
 				if !draining {
 					c.q.fail(l.id, &WorkerFault{Key: key, Kind: resilience.KindHang,
 						Msg: fmt.Sprintf("fleet: worker evaluating %q went silent; killed", key)})
@@ -811,6 +1000,16 @@ func (c *Coordinator) driveLease(s *slot, tr Transport, l *lease, msgs <-chan Ms
 			return exitShutdown, "", false
 		}
 	}
+}
+
+// dupRefused records a duplicate or stale frame refused by the
+// exactly-once dedup (network duplication, or a reply that outlived
+// its lease across a reconnect).
+func (c *Coordinator) dupRefused(s *slot, key string, attempt int) {
+	c.counter(obs.MetricFleetNetDupRefused).Add(1)
+	c.statAdd(func(st *Stats) { st.DupRefused++ })
+	c.event(Event{Type: EventDupRefused, Worker: s.id, Key: key, Attempt: attempt,
+		Detail: "duplicate or stale frame refused by the exactly-once dedup"})
 }
 
 // Evaluate implements search.Evaluator.

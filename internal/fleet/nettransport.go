@@ -1,0 +1,92 @@
+package fleet
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// DefaultSendTimeout bounds one frame's write on a network transport.
+// A link that cannot accept a frame in this window is treated as
+// partitioned: the send errors, the connection is severed, and the
+// normal reconnect/lease-recovery machinery takes over.
+const DefaultSendTimeout = 5 * time.Second
+
+// netTransport is Transport over a single TCP (or any net.Conn)
+// connection, carrying the same JSONL frames as the pipe transport
+// plus a per-message send deadline so a stalled peer cannot wedge the
+// sender forever.
+type netTransport struct {
+	mu          sync.Mutex
+	conn        net.Conn
+	fr          *frameReader
+	sendTimeout time.Duration
+}
+
+// NewNetTransport wraps an established connection in the JSONL
+// transport. sendTimeout ≤ 0 selects DefaultSendTimeout.
+func NewNetTransport(conn net.Conn, sendTimeout time.Duration) Transport {
+	if sendTimeout <= 0 {
+		sendTimeout = DefaultSendTimeout
+	}
+	return &netTransport{conn: conn, fr: newFrameReader(conn), sendTimeout: sendTimeout}
+}
+
+func (t *netTransport) Send(m Msg) error {
+	b, err := marshalFrame(m)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.conn.SetWriteDeadline(time.Now().Add(t.sendTimeout)); err != nil {
+		return err
+	}
+	_, err = t.conn.Write(b)
+	return err
+}
+
+func (t *netTransport) Recv() (Msg, error) {
+	return t.fr.next()
+}
+
+func (t *netTransport) Close() error {
+	return t.conn.Close()
+}
+
+// replayTransport re-delivers a frame already consumed from the inner
+// transport. The coordinator reads the ready handshake off a raw
+// connection before admitting it (so handshakes bypass chaos and
+// session routing happens first); the serve loop then sees the same
+// handshake via the replay.
+type replayTransport struct {
+	Transport
+	mu    sync.Mutex
+	first *Msg
+}
+
+func newReplayTransport(inner Transport, first Msg) Transport {
+	return &replayTransport{Transport: inner, first: &first}
+}
+
+func (t *replayTransport) Recv() (Msg, error) {
+	t.mu.Lock()
+	if m := t.first; m != nil {
+		t.first = nil
+		t.mu.Unlock()
+		return *m, nil
+	}
+	t.mu.Unlock()
+	return t.Transport.Recv()
+}
+
+// netProc adapts a network connection to the Process interface the
+// slot loop manages: there is no child process, so Kill severs the
+// connection and Wait has nothing to reap.
+type netProc struct {
+	conn net.Conn
+}
+
+func (p *netProc) Kill() error { return p.conn.Close() }
+func (p *netProc) Wait() error { return nil }
+func (p *netProc) Pid() int    { return 0 }

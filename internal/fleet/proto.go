@@ -23,6 +23,7 @@
 package fleet
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -83,6 +84,14 @@ type Msg struct {
 	Fault string `json:"fault,omitempty"`
 	// Persistent marks a fault retrying cannot cure (fault).
 	Persistent bool `json:"persistent,omitempty"`
+	// Session identifies a network worker across reconnects (ready).
+	// Pipe workers leave it empty: their identity is the pipe itself.
+	Session string `json:"session,omitempty"`
+	// LastLease is the lease a reconnecting network worker still holds
+	// in flight (ready). The coordinator uses it to re-adopt the
+	// worker's parked lease — or, on a mismatch, to expire the orphan —
+	// so no lease is ever double-honored across a partition.
+	LastLease int64 `json:"last_lease,omitempty"`
 }
 
 // Transport carries Msgs between coordinator and worker. Send must be
@@ -95,38 +104,140 @@ type Transport interface {
 	Close() error
 }
 
+// MaxFrame caps one JSONL frame (one line, newline included). The
+// largest legitimate frame is a result carrying a journal.Record —
+// well under a megabyte — so 8 MiB is generous headroom while keeping
+// a malicious or corrupt network peer from forcing unbounded buffering.
+const MaxFrame = 8 << 20
+
+// FrameError is a typed framing fault: a frame that is oversized,
+// truncated mid-line, or not valid JSON. Transports surface it from
+// Recv so the coordinator can distinguish a protocol-violating peer
+// (retire the connection, fail its lease) from an orderly close.
+type FrameError struct {
+	// Oversized reports the frame exceeded MaxFrame.
+	Oversized bool
+	// Len is the number of bytes seen before the frame was abandoned.
+	Len int
+	// Err is the underlying decode error, if any.
+	Err error
+}
+
+func (e *FrameError) Error() string {
+	if e.Oversized {
+		return fmt.Sprintf("fleet: frame exceeds %d-byte cap (read %d bytes)", MaxFrame, e.Len)
+	}
+	if e.Err != nil {
+		return fmt.Sprintf("fleet: malformed frame (%d bytes): %v", e.Len, e.Err)
+	}
+	return fmt.Sprintf("fleet: malformed frame (%d bytes)", e.Len)
+}
+
+func (e *FrameError) Unwrap() error { return e.Err }
+
+// marshalFrame encodes one Msg as a newline-terminated JSONL frame,
+// refusing frames over MaxFrame (a peer enforcing the cap on Recv
+// would otherwise drop them anyway).
+func marshalFrame(m Msg) ([]byte, error) {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	if len(b)+1 > MaxFrame {
+		return nil, &FrameError{Oversized: true, Len: len(b) + 1}
+	}
+	return append(b, '\n'), nil
+}
+
+// frameReader decodes newline-delimited Msg frames with the MaxFrame
+// cap enforced while reading — an oversized line is abandoned without
+// buffering it whole.
+type frameReader struct {
+	br *bufio.Reader
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// readLine returns the next line (newline stripped). A clean EOF at a
+// frame boundary is io.EOF; bytes followed by EOF mid-line are a
+// truncated frame, reported as a *FrameError.
+func (fr *frameReader) readLine() ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := fr.br.ReadSlice('\n')
+		// ReadSlice's chunk aliases the bufio buffer; copy before the
+		// next read invalidates it.
+		line = append(line, chunk...)
+		if len(line) > MaxFrame {
+			return nil, &FrameError{Oversized: true, Len: len(line)}
+		}
+		switch err {
+		case nil:
+			return line[:len(line)-1], nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(line) == 0 {
+				return nil, io.EOF
+			}
+			return nil, &FrameError{Len: len(line), Err: io.ErrUnexpectedEOF}
+		default:
+			return nil, err
+		}
+	}
+}
+
+// next decodes the next frame, skipping blank lines.
+func (fr *frameReader) next() (Msg, error) {
+	for {
+		line, err := fr.readLine()
+		if err != nil {
+			return Msg{}, err
+		}
+		if len(line) == 0 {
+			continue
+		}
+		var m Msg
+		if err := json.Unmarshal(line, &m); err != nil {
+			return Msg{}, &FrameError{Len: len(line), Err: err}
+		}
+		return m, nil
+	}
+}
+
 // pipeTransport is the JSONL-over-pipes transport: one JSON object per
-// line. json.Encoder.Encode issues a single Write per message
-// (marshal + trailing newline), so frames up to the pipe's atomic
-// write size never interleave; the mutex serializes larger ones and
-// concurrent senders.
+// line. Send issues a single Write per message (marshal + trailing
+// newline), so frames up to the pipe's atomic write size never
+// interleave; the mutex serializes larger ones and concurrent senders.
 type pipeTransport struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	dec *json.Decoder
-	r   io.Reader
-	w   io.Writer
+	mu sync.Mutex
+	fr *frameReader
+	r  io.Reader
+	w  io.Writer
 }
 
 // NewPipeTransport wraps a reader/writer pair (typically a subprocess's
 // stdout/stdin, or os.Stdin/os.Stdout on the worker side) in the JSONL
 // transport.
 func NewPipeTransport(r io.Reader, w io.Writer) Transport {
-	return &pipeTransport{enc: json.NewEncoder(w), dec: json.NewDecoder(r), r: r, w: w}
+	return &pipeTransport{fr: newFrameReader(r), r: r, w: w}
 }
 
 func (t *pipeTransport) Send(m Msg) error {
+	b, err := marshalFrame(m)
+	if err != nil {
+		return err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.enc.Encode(m)
+	_, err = t.w.Write(b)
+	return err
 }
 
 func (t *pipeTransport) Recv() (Msg, error) {
-	var m Msg
-	if err := t.dec.Decode(&m); err != nil {
-		return Msg{}, err
-	}
-	return m, nil
+	return t.fr.next()
 }
 
 func (t *pipeTransport) Close() error {

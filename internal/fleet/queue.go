@@ -59,10 +59,13 @@ type queue struct {
 	// acquirers; capacity 1, non-blocking sends (see acquire for the
 	// re-notify that prevents lost wakeups).
 	notify chan struct{}
+	// clock supplies lease deadlines; tests inject a fake one to pin
+	// TTL edge cases without sleeping.
+	clock func() time.Time
 }
 
 func newQueue() *queue {
-	return &queue{leases: make(map[int64]*lease), notify: make(chan struct{}, 1)}
+	return &queue{leases: make(map[int64]*lease), notify: make(chan struct{}, 1), clock: time.Now}
 }
 
 // submit enqueues one evaluation and returns its job handle.
@@ -92,7 +95,7 @@ func (q *queue) acquire(ctx context.Context, worker int, ttl time.Duration) *lea
 			q.pending = q.pending[1:]
 			more := len(q.pending) > 0
 			q.nextID++
-			l := &lease{id: q.nextID, worker: worker, deadline: time.Now().Add(ttl), job: j}
+			l := &lease{id: q.nextID, worker: worker, deadline: q.clock().Add(ttl), job: j}
 			j.state = jobLeased
 			j.lease = l.id
 			q.leases[l.id] = l
@@ -129,6 +132,20 @@ func (q *queue) resolve(id int64, o outcome) bool {
 	q.mu.Unlock()
 	l.job.done <- o
 	return true
+}
+
+// touch reports whether a heartbeat keeps its lease: true only while
+// the lease is current and unexpired. It never extends the deadline —
+// a heartbeat that arrives after expiry cannot resurrect the lease,
+// however delayed the frame was.
+func (q *queue) touch(id int64) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	l, ok := q.leases[id]
+	if !ok || l.job.state != jobLeased || l.job.lease != id {
+		return false
+	}
+	return !q.clock().After(l.deadline)
 }
 
 // complete resolves a lease with a successful evaluation; false when

@@ -40,6 +40,93 @@ func TestQueueExactlyOnceDedup(t *testing.T) {
 	}
 }
 
+// TestLateHeartbeatDoesNotResurrectExpiredLease pins the TTL edge with
+// a fake clock: a heartbeat (touch) that arrives after the deadline —
+// however delayed the frame was in the network — must not keep or
+// revive the lease.
+func TestLateHeartbeatDoesNotResurrectExpiredLease(t *testing.T) {
+	q := newQueue()
+	now := time.Unix(1_000_000, 0)
+	q.clock = func() time.Time { return now }
+	j := q.submit(asn(1), asn(1).Key(), 1)
+	l := q.acquire(context.Background(), 0, time.Minute)
+	if l == nil {
+		t.Fatal("acquire failed")
+	}
+	if !q.touch(l.id) {
+		t.Fatal("heartbeat on a fresh lease refused")
+	}
+	// One tick past the deadline: the lease is expired, and no
+	// heartbeat can resurrect it.
+	now = now.Add(time.Minute + time.Nanosecond)
+	if q.touch(l.id) {
+		t.Fatal("heartbeat after expiry kept the lease alive")
+	}
+	// The expiry path still owns the resolution.
+	if !q.fail(l.id, &WorkerFault{Key: j.key, Msg: "expired"}) {
+		t.Fatal("expiry fail refused")
+	}
+	if q.touch(l.id) {
+		t.Fatal("heartbeat after resolution accepted")
+	}
+	if o := <-j.done; o.fault == nil {
+		t.Fatal("job resolved without the expiry fault")
+	}
+}
+
+// TestResultRacingExpiryIsRefusedExactlyOnce races a lease's result
+// against its own expiry, both orders: whichever resolution lands
+// first wins, the loser is refused, and the job sees exactly one
+// outcome.
+func TestResultRacingExpiryIsRefusedExactlyOnce(t *testing.T) {
+	ev := &search.Evaluation{Status: search.StatusPass}
+
+	// Order 1: the expiry fails the lease first; the worker's result,
+	// racing in just behind it, must be refused.
+	q := newQueue()
+	now := time.Unix(1_000_000, 0)
+	q.clock = func() time.Time { return now }
+	j := q.submit(asn(1), asn(1).Key(), 1)
+	l := q.acquire(context.Background(), 0, time.Minute)
+	now = now.Add(2 * time.Minute)
+	if !q.fail(l.id, &WorkerFault{Key: j.key, Msg: "expired"}) {
+		t.Fatal("expiry fail refused")
+	}
+	if q.complete(l.id, ev) {
+		t.Fatal("result accepted after its lease expired and was failed")
+	}
+	if o := <-j.done; o.fault == nil {
+		t.Fatal("expiry outcome lost")
+	}
+	select {
+	case o := <-j.done:
+		t.Fatalf("second outcome delivered: %+v", o)
+	default:
+	}
+
+	// Order 2: the result lands first (the coordinator's expiry tick
+	// had not fired yet); the expiry's fail must then be refused.
+	q2 := newQueue()
+	q2.clock = func() time.Time { return now }
+	j2 := q2.submit(asn(2), asn(2).Key(), 1)
+	l2 := q2.acquire(context.Background(), 0, time.Minute)
+	now = now.Add(2 * time.Minute)
+	if !q2.complete(l2.id, ev) {
+		t.Fatal("result refused before any expiry resolution")
+	}
+	if q2.fail(l2.id, &WorkerFault{Key: j2.key, Msg: "expired"}) {
+		t.Fatal("expiry fail accepted after the result resolved the lease")
+	}
+	if o := <-j2.done; o.ev == nil {
+		t.Fatal("result outcome lost")
+	}
+	select {
+	case o := <-j2.done:
+		t.Fatalf("second outcome delivered: %+v", o)
+	default:
+	}
+}
+
 func TestQueueAcquireOrderAndCancel(t *testing.T) {
 	q := newQueue()
 	j1 := q.submit(asn(1), "k1", 1)

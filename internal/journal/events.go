@@ -18,6 +18,12 @@ func EventsPath(journalPath string) string { return journalPath + ".events" }
 // Event record types. Retry/quarantine/breaker records mirror
 // resilience.Event; salvaged records carry a full evaluation Record
 // rescued from an aborted batch.
+//
+// The worker fleet appends its own vocabulary to the same sidecar
+// (see internal/fleet: lease_grant, worker_exit, …, and the network
+// transport's worker_reconnect, partition_expired, dup_refused) —
+// this package treats types it does not know as opaque, so the fleet
+// can grow events without touching the journal layer.
 const (
 	EventRetry        = "retry"
 	EventQuarantine   = "quarantine"

@@ -61,6 +61,14 @@ const (
 	MetricFleetLocalEvals         = "fleet_local_evals"     // evaluations run in-process after a degrade
 	MetricFleetWorkerLeasesPrefix = "fleet_worker_leases_"  // fleet_worker_leases_<id>: leases completed per worker
 
+	// Network-fleet counters, populated only in network mode (prose
+	// tune -listen / prose worker -connect).
+	MetricFleetNetSessions         = "fleet_net_sessions"          // worker connections admitted (first contact + reconnects)
+	MetricFleetNetReconnects       = "fleet_net_reconnects"        // sessions resumed after a connection loss
+	MetricFleetNetPartitionExpired = "fleet_net_partition_expired" // parked leases expired before their worker returned
+	MetricFleetNetDupRefused       = "fleet_net_dup_refused"       // duplicate/stale frames refused by the exactly-once dedup
+	MetricFleetNetFrameErrors      = "fleet_net_frame_errors"      // malformed/oversized frames that retired a connection
+
 	GaugeBestSpeedup = "best_speedup" // best passing speedup so far
 	GaugeBreakerOpen = "breaker_open" // 1 while the circuit breaker is open
 

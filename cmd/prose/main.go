@@ -13,6 +13,7 @@
 //	prose profile  [MODEL]             shadow-execution numeric error profile
 //	prose journal  <path>              inspect a journal + events sidecar
 //	prose trace    <path>              analyze a span trace from tune -trace
+//	prose fleet-status <addr>          live fleet view from a tune -debug-addr
 package main
 
 import (
@@ -22,9 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -105,6 +108,8 @@ func main() {
 		err = cmdJournal(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
+	case "fleet-status":
+		err = cmdFleetStatus(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -135,6 +140,9 @@ commands:
              cancellation sites, and a one-run atom ranking
   journal    inspect a crash-safe journal and its resilience events sidecar
   trace      analyze a span trace written by tune -trace (critical path, phases)
+  fleet-status
+             poll a running tune -debug-addr for live fleet health: per-worker
+             state, leases, reconnects, and the merged worker metrics
 
 run 'prose <command> -h' for flags.
 `)
@@ -855,6 +863,30 @@ func cmdTrace(args []string) error {
 	roots := obs.BuildTree(recs)
 	fmt.Printf("  spans: %d in %d tree(s)  (%s)\n", len(recs), len(roots), formatCounts(obs.CountByName(recs)))
 
+	// A distributed run's trace carries worker-side spans in their own
+	// pid lanes (obs.WorkerPIDBase+slot); summarize the processes so a
+	// cross-process trace is legible before opening chrome://tracing.
+	byPID := map[int]int{}
+	for _, r := range recs {
+		byPID[r.PID]++
+	}
+	if len(byPID) > 1 {
+		pids := make([]int, 0, len(byPID))
+		for pid := range byPID {
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids)
+		parts := make([]string, 0, len(pids))
+		for _, pid := range pids {
+			label := "coordinator"
+			if pid >= obs.WorkerPIDBase {
+				label = fmt.Sprintf("worker pid %d (slot %d)", pid, pid-obs.WorkerPIDBase)
+			}
+			parts = append(parts, fmt.Sprintf("%s %d span(s)", label, byPID[pid]))
+		}
+		fmt.Printf("  processes: %s\n", strings.Join(parts, "; "))
+	}
+
 	for _, root := range roots {
 		fmt.Printf("  root %s: %v\n", root.Rec.Name, root.Rec.Dur.Round(time.Microsecond))
 		cp := obs.CriticalPath(root)
@@ -882,6 +914,154 @@ func cmdTrace(args []string) error {
 		}
 	}
 	return nil
+}
+
+// cmdFleetStatus polls a running coordinator's /debug/fleet endpoint
+// (served by tune -debug-addr) and renders a live fleet view: pool
+// stats, per-worker health, and the merged fleet.workers.* metrics the
+// workers ship piggybacked on their heartbeats. One sample by default;
+// -watch re-polls and derives a leases/s throughput between samples.
+func cmdFleetStatus(args []string) error {
+	fs := flag.NewFlagSet("fleet-status", flag.ExitOnError)
+	addr := fs.String("addr", "", "tune -debug-addr address to poll (or pass it as the positional argument)")
+	format := fs.String("format", "text", "output format: text (human-readable) or json (raw /debug/fleet document)")
+	watch := fs.Duration("watch", 0, "re-poll at this interval instead of sampling once (0 = once)")
+	count := fs.Int("count", 0, "with -watch: stop after N samples (0 = until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" && fs.NArg() == 1 {
+		*addr = fs.Arg(0)
+	}
+	if *addr == "" {
+		return fmt.Errorf("fleet-status: usage: prose fleet-status <debug-addr>")
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("fleet-status: unknown -format %q (want text or json)", *format)
+	}
+	url := "http://" + *addr + "/debug/fleet"
+	var (
+		prevLeases int64
+		prevAt     time.Time
+	)
+	for sample := 1; ; sample++ {
+		st, err := fetchFleetStatus(url)
+		if err != nil {
+			return fmt.Errorf("fleet-status: %w", err)
+		}
+		now := time.Now()
+		switch *format {
+		case "json":
+			b, merr := json.MarshalIndent(st, "", "  ")
+			if merr != nil {
+				return merr
+			}
+			fmt.Println(string(b))
+		default:
+			leasesPerSec := -1.0
+			if sample > 1 {
+				if dt := now.Sub(prevAt).Seconds(); dt > 0 {
+					leasesPerSec = float64(st.Stats.Leases-prevLeases) / dt
+				}
+			}
+			renderFleetStatus(*addr, st, leasesPerSec)
+		}
+		prevLeases, prevAt = st.Stats.Leases, now
+		if *watch <= 0 || (*count > 0 && sample >= *count) {
+			return nil
+		}
+		time.Sleep(*watch)
+	}
+}
+
+// fetchFleetStatus GETs and decodes one /debug/fleet document.
+func fetchFleetStatus(url string) (*fleet.FleetStatus, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var st fleet.FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return &st, nil
+}
+
+// renderFleetStatus prints the text view of one /debug/fleet sample.
+// leasesPerSec < 0 means "no previous sample" and omits the line.
+func renderFleetStatus(addr string, st *fleet.FleetStatus, leasesPerSec float64) {
+	s := st.Stats
+	fmt.Printf("fleet @ %s\n", addr)
+	fmt.Printf("  workers: %d/%d alive   leases: %d granted, %d expired, %d late dropped\n",
+		s.Alive, s.Workers, s.Leases, s.Expired, s.Late)
+	if s.Exits+s.Restarts+s.Reconnects+s.PartitionExpired+s.DupRefused+s.FrameErrors > 0 {
+		fmt.Printf("  faults: %d death(s), %d restart(s), %d reconnect(s), %d partition-expired, %d dup refused, %d frame error(s)\n",
+			s.Exits, s.Restarts, s.Reconnects, s.PartitionExpired, s.DupRefused, s.FrameErrors)
+	}
+	if s.Degraded {
+		fmt.Printf("  DEGRADED to in-process evaluation (%d local eval(s)): %s\n", s.LocalEvals, s.DegradeDetail)
+	}
+	if leasesPerSec >= 0 {
+		fmt.Printf("  throughput: %.2f lease(s)/s since last sample\n", leasesPerSec)
+	}
+	fmt.Printf("  %3s %-9s %7s %-10s %7s %9s %9s %8s  %s\n",
+		"id", "state", "pid", "session", "leases", "restarts", "hb-age", "obs-seq", "last fault")
+	for _, w := range st.Workers {
+		hb, pid, sess, fault := "-", "-", w.Session, w.LastFault
+		if w.HeartbeatAgeMS >= 0 {
+			hb = (time.Duration(w.HeartbeatAgeMS) * time.Millisecond).String()
+		}
+		if w.Pid != 0 {
+			pid = strconv.Itoa(w.Pid)
+		}
+		if sess == "" {
+			sess = "-"
+		}
+		if fault == "" {
+			fault = "-"
+		}
+		fmt.Printf("  %3d %-9s %7s %-10s %7d %9d %9s %8d  %s\n",
+			w.ID, w.State, pid, sess, w.LeasesDone, w.Restarts, hb, w.MetricsSeq, fault)
+	}
+	renderWorkerMetrics(st.WorkerMetrics)
+}
+
+// renderWorkerMetrics prints the merged worker-shipped registry slice
+// (the coordinator already filtered it to the fleet.workers.* namespace).
+func renderWorkerMetrics(s obs.Snapshot) {
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) == 0 {
+		return
+	}
+	fmt.Printf("  worker metrics (merged):\n")
+	ck := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		ck = append(ck, k)
+	}
+	sort.Strings(ck)
+	for _, k := range ck {
+		fmt.Printf("    %-52s %12d\n", k, s.Counters[k])
+	}
+	gk := make([]string, 0, len(s.Gauges))
+	for k := range s.Gauges {
+		gk = append(gk, k)
+	}
+	sort.Strings(gk)
+	for _, k := range gk {
+		fmt.Printf("    %-52s %12g\n", k, s.Gauges[k])
+	}
+	hk := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		hk = append(hk, k)
+	}
+	sort.Strings(hk)
+	for _, k := range hk {
+		h := s.Histograms[k]
+		fmt.Printf("    %-52s n=%d mean=%.0f min=%.0f max=%.0f\n", k, h.Count, h.Mean, h.Min, h.Max)
+	}
 }
 
 // formatCounts renders a count map as "k1 n1  k2 n2", keys sorted.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/journal"
 	"repro/internal/models"
+	"repro/internal/obs"
 )
 
 // TestFleetNetChaosJournalByteIdentity is PR 8's headline invariant,
@@ -25,6 +26,15 @@ import (
 // visible only in the events sidecar (worker_reconnect,
 // partition_expired, dup_refused) and the fleet stats; it never
 // reaches an outcome.
+//
+// Like the pipe-fleet edition, the chaos runs enable the distributed
+// observability plane (trace context in lease grants, spans and metric
+// snapshots shipped back through the chaos layer) while the reference
+// run does not: byte identity proves the shipping survives drops,
+// duplicates, reorders and partitions without touching the journal.
+// Span delivery itself is best-effort under chaos — a dropped
+// heartbeat loses its batch — so the assertion is at-least-one, while
+// the ObsSeq dedup guarantees duplicated frames never splice twice.
 func TestFleetNetChaosJournalByteIdentity(t *testing.T) {
 	dir := t.TempDir()
 	refPath := filepath.Join(dir, "ref.jsonl")
@@ -103,10 +113,13 @@ func TestFleetNetChaosJournalByteIdentity(t *testing.T) {
 			}
 
 			path := filepath.Join(dir, fmt.Sprintf("net%d.jsonl", workers))
+			tracer := obs.NewTracer("fleet-net-byte-identity")
+			reg := obs.NewRegistry()
 			res, err, fault := runJournaled(t, Options{
 				Seed: 1, JournalPath: path,
 				Parallelism: workers, Fleet: coord,
 				Retries: 10,
+				Trace:   tracer, Metrics: reg,
 			})
 			if err != nil || fault != nil {
 				t.Fatalf("network fleet run: err=%v fault=%v", err, fault)
@@ -160,6 +173,30 @@ func TestFleetNetChaosJournalByteIdentity(t *testing.T) {
 			// And in the report.
 			if rep := res.Render(); !strings.Contains(rep, "fleet network:") {
 				t.Errorf("report lacks the fleet network line:\n%s", rep)
+			}
+			// Worker spans made it through the chaos layer into their pid
+			// lanes (best-effort: at least one survives the drop rate).
+			var workerSpans int
+			for _, r := range tracer.Drain() {
+				if r.Name == obs.SpanWorkerEval {
+					if r.PID < obs.WorkerPIDBase || r.PID >= obs.WorkerPIDBase+workers {
+						t.Errorf("worker.eval span in pid lane %d; want [%d,%d)",
+							r.PID, obs.WorkerPIDBase, obs.WorkerPIDBase+workers)
+					}
+					workerSpans++
+				}
+			}
+			if workerSpans == 0 {
+				t.Error("no worker.eval spans spliced into the coordinator trace")
+			}
+			// Worker metric snapshots merged despite duplicated and
+			// reordered frames; the cumulative-snapshot + ObsSeq design
+			// makes the final merged counts exact, not best-effort.
+			snap := reg.Snapshot()
+			h, ok := snap.Histograms[obs.MetricFleetWorkersPrefix+obs.HistEvalRunNS]
+			if !ok || h.Count == 0 {
+				t.Errorf("merged worker histogram %s%s missing or empty",
+					obs.MetricFleetWorkersPrefix, obs.HistEvalRunNS)
 			}
 		})
 	}

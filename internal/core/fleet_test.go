@@ -14,6 +14,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/journal"
 	"repro/internal/models"
+	"repro/internal/obs"
 )
 
 // TestMain doubles as the fleet worker executable: the fleet tests
@@ -115,6 +116,13 @@ func newFleet(t *testing.T, workers int, env ...string) *fleet.Coordinator {
 // SIGKILLed at random produces an evaluation journal byte-identical to
 // the fault-free in-process run's — at pool size 1 and 8 — with the
 // deaths visible only in the events sidecar and the fleet stats.
+//
+// The fleet runs enable the full distributed observability plane
+// (coordinator tracer + registry, so lease grants propagate trace
+// context and workers ship spans and metric snapshots back) while the
+// reference run enables none of it: byte identity against the
+// uninstrumented journal proves trace and metric shipping are strictly
+// out-of-band.
 func TestFleetJournalByteIdentity(t *testing.T) {
 	dir := t.TempDir()
 	refPath := filepath.Join(dir, "ref.jsonl")
@@ -138,9 +146,12 @@ func TestFleetJournalByteIdentity(t *testing.T) {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			path := filepath.Join(dir, fmt.Sprintf("fleet%d.jsonl", workers))
 			coord := newFleet(t, workers, faultEnv...)
+			tracer := obs.NewTracer("fleet-byte-identity")
+			reg := obs.NewRegistry()
 			res, err, fault := runJournaled(t, Options{
 				Seed: 1, JournalPath: path,
 				Parallelism: workers, Fleet: coord,
+				Trace: tracer, Metrics: reg,
 			})
 			if err != nil || fault != nil {
 				t.Fatalf("fleet run: err=%v fault=%v", err, fault)
@@ -193,6 +204,34 @@ func TestFleetJournalByteIdentity(t *testing.T) {
 			// And in the report.
 			if rep := res.Render(); !strings.Contains(rep, "fleet:") {
 				t.Errorf("report lacks the fleet line:\n%s", rep)
+			}
+			// Worker spans were shipped back, rebased, and spliced into
+			// the coordinator's trace in their own pid lanes.
+			var workerSpans int
+			for _, r := range tracer.Drain() {
+				if r.Name == obs.SpanWorkerEval {
+					if r.PID < obs.WorkerPIDBase || r.PID >= obs.WorkerPIDBase+workers {
+						t.Errorf("worker.eval span in pid lane %d; want [%d,%d)",
+							r.PID, obs.WorkerPIDBase, obs.WorkerPIDBase+workers)
+					}
+					workerSpans++
+				}
+			}
+			if workerSpans == 0 {
+				t.Error("no worker.eval spans spliced into the coordinator trace")
+			}
+			// Worker registries were merged under fleet.workers.*.
+			snap := reg.Snapshot()
+			if n := snap.Counters[obs.MetricFleetObsSpans]; n == 0 {
+				t.Error("fleet_obs_spans counter is zero; span shipping never counted")
+			}
+			h, ok := snap.Histograms[obs.MetricFleetWorkersPrefix+obs.HistEvalRunNS]
+			if !ok || h.Count == 0 {
+				t.Errorf("merged worker histogram %s%s missing or empty",
+					obs.MetricFleetWorkersPrefix, obs.HistEvalRunNS)
+			}
+			if res.Metrics == nil || res.Metrics.Counters[obs.MetricFleetObsSnapshots] == 0 {
+				t.Error("Result.Metrics lacks the merged fleet_obs_snapshots counter")
 			}
 		})
 	}

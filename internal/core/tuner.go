@@ -490,6 +490,16 @@ func (t *Tuner) Evaluate(a transform.Assignment) *search.Evaluation {
 	return t.EvaluateSpan(nil, a)
 }
 
+// AttachMetrics implements fleet.MetricsAttacher: a fleet worker's
+// tuner starts without a registry and adopts one when the first lease
+// arrives with trace context asking for metrics, so the interpreter
+// counters it feeds can be shipped back to the coordinator. Worker
+// leases run sequentially, so attaching between evaluations is safe.
+// Metrics never influence evaluation outcomes or the journal.
+func (t *Tuner) AttachMetrics(reg *obs.Registry) {
+	t.opts.Metrics = reg
+}
+
 // EvaluateSpan implements search.SpanEvaluator: identical to Evaluate,
 // additionally attributing the interpreter execution to an "interp.run"
 // child of sp and feeding interpreter counters to Options.Metrics. sp
@@ -976,6 +986,7 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 			Local:       evaluator,
 			Fingerprint: t.Fingerprint(),
 			Metrics:     t.opts.Metrics,
+			Trace:       t.opts.Trace,
 		}
 		if events != nil {
 			ev := events

@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -226,8 +227,16 @@ type Runtime struct {
 	Fingerprint string
 	// OnEvent bridges fleet events to the journal's events sidecar.
 	OnEvent func(Event)
-	// Metrics receives fleet counters and gauges (nil-safe).
+	// Metrics receives fleet counters and gauges (nil-safe). When set,
+	// lease grants ask workers to snapshot their own registries into
+	// heartbeats, and the coordinator merges them into the
+	// fleet.workers.* namespace of this registry.
 	Metrics *obs.Registry
+	// Trace, when set, turns on cross-process trace propagation: lease
+	// grants carry the fleet.lease span ID, workers run their own
+	// tracer under it, and their shipped spans are spliced into this
+	// tracer on per-worker pid lanes.
+	Trace *obs.Tracer
 }
 
 // WorkerState is a worker slot's lifecycle position.
@@ -282,6 +291,9 @@ type WorkerHealth struct {
 	LastFault      string `json:"last_fault,omitempty"`
 	// Session is the network worker session bound to this slot, if any.
 	Session string `json:"session,omitempty"`
+	// MetricsSeq is the newest obs sequence number accepted from this
+	// worker (0 until metric/span shipping delivers something).
+	MetricsSeq int64 `json:"metrics_seq,omitempty"`
 }
 
 // Stats is a snapshot of fleet counters for the run report.
@@ -332,6 +344,15 @@ type slot struct {
 	currentKey string
 	lastBeat   time.Time
 	lastFault  string
+
+	// Distributed-observability state (guarded by Coordinator.mu):
+	// obsSeq is the newest accepted obs sequence number — frames with
+	// an equal or lower sequence are chaos-delayed duplicates or
+	// reorders and are dropped — and obsSnap is the worker's latest
+	// accepted registry snapshot, kept so each acceptance can merge the
+	// delta (not the cumulative total) into the run registry.
+	obsSeq  int64
+	obsSnap obs.Snapshot
 
 	// Network mode only: the bound worker session, its in-flight
 	// lease parked across a disconnect (with the timer that expires
@@ -518,6 +539,7 @@ func (c *Coordinator) Health() []WorkerHealth {
 			CurrentKey: s.currentKey,
 			LastFault:  s.lastFault,
 			Session:    s.session,
+			MetricsSeq: s.obsSeq,
 		}
 		h.HeartbeatAgeMS = -1
 		if (s.state == StateBusy || s.state == StateDraining) && !s.lastBeat.IsZero() {
@@ -530,17 +552,31 @@ func (c *Coordinator) Health() []WorkerHealth {
 }
 
 // DebugHandler serves the fleet health snapshot as JSON, mounted at
-// /debug/fleet on the -debug-addr server.
+// /debug/fleet on the -debug-addr server and polled by `prose
+// fleet-status`. All worker state is copied under the coordinator's
+// lock (Stats/Health) or read from atomic registry instruments
+// (WorkerMetrics), so the handler is safe against concurrent heartbeat
+// and obs-merge updates (raced in TestDebugFleetHandlerRace).
 func (c *Coordinator) DebugHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(struct {
-			Stats   Stats          `json:"stats"`
-			Workers []WorkerHealth `json:"workers"`
-		}{c.Stats(), c.Health()})
+		enc.Encode(FleetStatus{
+			Stats:         c.Stats(),
+			Workers:       c.Health(),
+			WorkerMetrics: c.WorkerMetrics(),
+		})
 	})
+}
+
+// FleetStatus is the /debug/fleet JSON document: fleet counters, the
+// per-worker health table, and the merged fleet.workers.* metrics view.
+// `prose fleet-status` decodes exactly this.
+type FleetStatus struct {
+	Stats         Stats          `json:"stats"`
+	Workers       []WorkerHealth `json:"workers"`
+	WorkerMetrics obs.Snapshot   `json:"worker_metrics,omitempty"`
 }
 
 // event fans one fleet event out to the configured observers.
@@ -755,6 +791,18 @@ func (c *Coordinator) serveWorker(s *slot, tr Transport, nc *netConn) (exitReaso
 		return exitShutdown, ""
 	}
 
+	// A pipe worker that just handshook is a fresh process: its obs
+	// sequence and registry restart from zero, so the stale-frame guard
+	// and the delta merge must restart with it. (A network reconnect
+	// resumes the same process — same tracer, same registry, same
+	// sequence — so its state carries over.)
+	if nc == nil {
+		c.mu.Lock()
+		s.obsSeq = 0
+		s.obsSnap = obs.Snapshot{}
+		c.mu.Unlock()
+	}
+
 	// A reconnecting network session may still hold a parked lease:
 	// re-adopt it and resume driving — without a second grant, because
 	// the worker is mid-evaluation (or re-offering its reply) already.
@@ -774,8 +822,17 @@ func (c *Coordinator) serveWorker(s *slot, tr Transport, nc *netConn) (exitReaso
 			tr.Send(Msg{Type: MsgShutdown})
 			return exitShutdown, ""
 		}
-		if err := tr.Send(Msg{Type: MsgLease, Lease: l.id, Key: l.job.key, Attempt: l.job.attempt,
-			Assignment: l.job.a, DeadlineMS: c.cfg.LeaseTTL.Milliseconds()}); err != nil {
+		lm := Msg{Type: MsgLease, Lease: l.id, Key: l.job.key, Attempt: l.job.attempt,
+			Assignment: l.job.a, DeadlineMS: c.cfg.LeaseTTL.Milliseconds()}
+		if c.rt.Trace != nil || c.rt.Metrics != nil {
+			oc := &ObsCtx{Metrics: c.rt.Metrics != nil}
+			if c.rt.Trace != nil && l.job.span != 0 {
+				oc.SpanID = l.job.span.String()
+				oc.Fingerprint = c.rt.Trace.Fingerprint()
+			}
+			lm.Obs = oc
+		}
+		if err := tr.Send(lm); err != nil {
 			detail := fmt.Sprintf("lease send failed: %v", err)
 			c.q.fail(l.id, &WorkerFault{Key: l.job.key, Kind: resilience.KindSchedulerKill,
 				Msg: fmt.Sprintf("fleet: worker died before receiving the lease on %q", l.job.key)})
@@ -881,6 +938,7 @@ func (c *Coordinator) driveLease(s *slot, tr Transport, l *lease, rd *workerRead
 				c.workerDied(s, key, attempt, det)
 				return exitCrash, det, false
 			}
+			c.spliceObs(s, m)
 			switch m.Type {
 			case MsgHeartbeat:
 				lastBeat = time.Now()
@@ -1002,6 +1060,150 @@ func (c *Coordinator) driveLease(s *slot, tr Transport, l *lease, rd *workerRead
 	}
 }
 
+// spliceObs absorbs one frame's piggybacked observability payload:
+// worker spans are rebased onto the coordinator's tracer epoch and
+// spliced into this slot's Chrome-trace pid lane, and the worker's
+// registry snapshot is delta-merged into the run registry's
+// fleet.workers.* namespace. A chaos transport can delay, duplicate,
+// or reorder frames, so the worker tags every shipment with a
+// monotonic sequence number; anything at or below the newest accepted
+// sequence is dropped — a stale snapshot can never overwrite a newer
+// one, and a duplicated span batch splices at most once.
+func (c *Coordinator) spliceObs(s *slot, m Msg) {
+	if m.ObsSeq == 0 {
+		return
+	}
+	c.mu.Lock()
+	if m.ObsSeq <= s.obsSeq {
+		c.mu.Unlock()
+		c.counter(obs.MetricFleetObsStale).Add(1)
+		return
+	}
+	s.obsSeq = m.ObsSeq
+	var prev obs.Snapshot
+	if m.MetricsSnap != nil {
+		prev, s.obsSnap = s.obsSnap, *m.MetricsSnap
+	}
+	c.mu.Unlock()
+	if m.MetricsSnap != nil {
+		c.mergeWorkerSnap(s.id, prev, *m.MetricsSnap)
+		c.counter(obs.MetricFleetObsSnapshots).Add(1)
+	}
+	if len(m.Spans) > 0 && c.rt.Trace != nil {
+		// Rebase: the worker stamped the frame with its own epoch
+		// offset at send time; the difference against our clock now is
+		// the epoch skew (plus frame latency, which only shifts the
+		// lane slightly and never reorders spans within it).
+		offset := c.rt.Trace.Now() - time.Duration(m.TraceNow)
+		recs := make([]obs.SpanRecord, len(m.Spans))
+		for i, r := range m.Spans {
+			r.Start += offset
+			if r.Start < 0 {
+				r.Start = 0
+			}
+			r.PID = obs.WorkerPIDBase + s.id
+			r.Worker = s.id
+			recs[i] = r
+		}
+		c.rt.Trace.Ingest(recs)
+		c.counter(obs.MetricFleetObsSpans).Add(int64(len(recs)))
+	}
+}
+
+// mergeWorkerSnap folds one accepted worker snapshot into the run
+// registry's fleet.workers.* namespace. Counters and histograms are
+// cumulative on the worker, so only the delta against the previously
+// accepted snapshot is added — the merged view is exact and live (it
+// reaches /debug/vars and /debug/fleet mid-run, and the final registry
+// snapshot lands in the run report and core.Result.Metrics). A counter
+// or histogram that shrank means a restarted worker with a fresh
+// registry; its new totals are added whole, since the dead process's
+// contributions already landed. Gauges are last-write-wins per slot,
+// published as fleet.workers.<name>.w<slot>.
+func (c *Coordinator) mergeWorkerSnap(slotID int, prev, cur obs.Snapshot) {
+	reg := c.rt.Metrics
+	if reg == nil {
+		return
+	}
+	for name, v := range cur.Counters {
+		d := v - prev.Counters[name]
+		if d < 0 {
+			d = v
+		}
+		if d != 0 {
+			reg.Counter(obs.MetricFleetWorkersPrefix + name).Add(d)
+		}
+	}
+	for name, v := range cur.Gauges {
+		reg.Gauge(fmt.Sprintf("%s%s.w%d", obs.MetricFleetWorkersPrefix, name, slotID)).Set(v)
+	}
+	for name, h := range cur.Histograms {
+		if d := histDelta(prev.Histograms[name], h); d.Count != 0 {
+			reg.Histogram(obs.MetricFleetWorkersPrefix + name).Merge(d)
+		}
+	}
+}
+
+// histDelta computes what a worker histogram gained since the
+// previously accepted snapshot. Count, sum, and power-of-two buckets
+// are monotonic within one worker process, so they subtract exactly;
+// min/max are lifetime values, which widen correctly under Merge. A
+// count regression means a restarted worker: the whole new histogram
+// is the delta.
+func histDelta(prev, cur obs.HistogramSnapshot) obs.HistogramSnapshot {
+	if prev.Count == 0 || cur.Count < prev.Count {
+		return cur
+	}
+	d := obs.HistogramSnapshot{
+		Count: cur.Count - prev.Count,
+		Sum:   cur.Sum - prev.Sum,
+		Min:   cur.Min,
+		Max:   cur.Max,
+	}
+	if len(cur.Buckets) > 0 {
+		d.Buckets = make(map[int]int64, len(cur.Buckets))
+		for e, n := range cur.Buckets {
+			if dn := n - prev.Buckets[e]; dn > 0 {
+				d.Buckets[e] = dn
+			}
+		}
+	}
+	return d
+}
+
+// WorkerMetrics returns the merged fleet.workers.* view of every
+// worker registry snapshot aggregated so far — the names keep their
+// prefix. Empty when metric shipping is off or nothing has arrived.
+func (c *Coordinator) WorkerMetrics() obs.Snapshot {
+	full := c.rt.Metrics.Snapshot()
+	var out obs.Snapshot
+	for k, v := range full.Counters {
+		if strings.HasPrefix(k, obs.MetricFleetWorkersPrefix) {
+			if out.Counters == nil {
+				out.Counters = make(map[string]int64)
+			}
+			out.Counters[k] = v
+		}
+	}
+	for k, v := range full.Gauges {
+		if strings.HasPrefix(k, obs.MetricFleetWorkersPrefix) {
+			if out.Gauges == nil {
+				out.Gauges = make(map[string]float64)
+			}
+			out.Gauges[k] = v
+		}
+	}
+	for k, v := range full.Histograms {
+		if strings.HasPrefix(k, obs.MetricFleetWorkersPrefix) {
+			if out.Histograms == nil {
+				out.Histograms = make(map[string]obs.HistogramSnapshot)
+			}
+			out.Histograms[k] = v
+		}
+	}
+	return out
+}
+
 // dupRefused records a duplicate or stale frame refused by the
 // exactly-once dedup (network duplication, or a reply that outlived
 // its lease across a reconnect).
@@ -1038,7 +1240,7 @@ func (c *Coordinator) EvaluateSpan(sp *obs.Span, a transform.Assignment) *search
 	fsp.AttrInt("attempt", int64(attempt))
 	defer fsp.End()
 
-	j := c.q.submit(a, key, attempt)
+	j := c.q.submit(a, key, attempt, fsp.ID())
 	for {
 		select {
 		case o := <-j.done:

@@ -409,7 +409,7 @@ func TestHeartbeatMissLimitTriggersReconnect(t *testing.T) {
 	if _, err := lk.redial(0); err != nil {
 		t.Fatalf("initial dial: %v", err)
 	}
-	stop := lk.heartbeats(1)
+	stop := lk.heartbeats(1, nil)
 	waitFor(t, "heartbeat-triggered redial", func() bool { return dials.Load() >= 2 })
 	stop()
 	trMu.Lock()

@@ -216,8 +216,9 @@ func (lk *netLink) sendReply(m Msg) error {
 // where one failed send means the coordinator is gone and the process
 // exits — a network worker tolerates flaky sends: only
 // HeartbeatMissLimit consecutive failures declare the link dead and
-// trigger a reconnect.
-func (lk *netLink) heartbeats(lease int64) (stop func()) {
+// trigger a reconnect. Each beat piggybacks the worker's pending
+// observability payload when shipping is on.
+func (lk *netLink) heartbeats(lease int64, wo *workerObs) (stop func()) {
 	done := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -230,7 +231,11 @@ func (lk *netLink) heartbeats(lease int64) (stop func()) {
 			select {
 			case <-t.C:
 				tr, gen := lk.current()
-				if err := tr.Send(Msg{Type: MsgHeartbeat, Lease: lease}); err != nil {
+				hb := Msg{Type: MsgHeartbeat, Lease: lease}
+				if wo != nil {
+					wo.attach(&hb)
+				}
+				if err := tr.Send(hb); err != nil {
 					misses++
 					if misses >= lk.cfg.HeartbeatMissLimit {
 						misses = 0
@@ -278,6 +283,7 @@ func ServeNet(cfg NetServeConfig) error {
 		}
 	}
 	lk := &netLink{cfg: &cfg}
+	wo := &workerObs{}
 	if _, err := lk.redial(0); err != nil {
 		return err
 	}
@@ -318,9 +324,11 @@ func ServeNet(cfg NetServeConfig) error {
 				continue
 			}
 			lk.setLease(m.Lease)
+			wo.enable(m.Obs, cfg.Eval)
 			cfg.Fault.preEval(m.Key, m.Attempt)
-			stop := lk.heartbeats(m.Lease)
-			ev, fault, faulted, persistent := runEval(cfg.Eval, m.Assignment)
+			stop := lk.heartbeats(m.Lease, wo)
+			sp := wo.leaseSpan(m)
+			ev, fault, faulted, persistent := runEval(cfg.Eval, m.Assignment, sp, wo.registry())
 			cfg.Fault.preReply(m.Key, m.Attempt)
 			stop()
 			var reply Msg
@@ -330,6 +338,19 @@ func ServeNet(cfg NetServeConfig) error {
 				rec := journal.FromEvaluation(cfg.Fingerprint, ev)
 				reply = Msg{Type: MsgResult, Lease: m.Lease, Result: &rec}
 			}
+			// Overflow span batches go out best-effort on the live link
+			// (a dead link loses them; the reply itself is what session
+			// resume protects). The reply's own obs payload is attached
+			// before setPending so a re-offered duplicate carries the
+			// same sequence number and the coordinator splices it at
+			// most once.
+			_ = wo.shipOverflow(func(hb Msg) error {
+				if tr, _ := lk.current(); tr != nil {
+					_ = tr.Send(hb)
+				}
+				return nil
+			}, m.Lease)
+			wo.attach(&reply)
 			lk.setPending(reply)
 			if err := lk.sendReply(reply); err != nil {
 				return err

@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"repro/internal/journal"
+	"repro/internal/obs"
 )
 
 // Message types. The worker initiates with ready; the coordinator
@@ -92,7 +93,52 @@ type Msg struct {
 	// worker's parked lease — or, on a mismatch, to expire the orphan —
 	// so no lease is ever double-honored across a partition.
 	LastLease int64 `json:"last_lease,omitempty"`
+
+	// Obs carries the coordinator's trace context on a lease grant; its
+	// presence is what switches a worker's local tracing/metrics on
+	// (observability stays alloc-free on the worker until the first
+	// instrumented lease arrives). Observability fields never influence
+	// evaluation and are never fingerprinted.
+	Obs *ObsCtx `json:"obs,omitempty"`
+	// Spans are completed worker spans shipped back piggybacked on
+	// heartbeat/result/fault frames, at most MaxSpanBatch per frame,
+	// with Start offsets on the worker's own tracer epoch (the
+	// coordinator rebases them using TraceNow).
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
+	// TraceNow is the sender's tracer-epoch offset (ns) at send time,
+	// set on any frame carrying Spans. The coordinator computes
+	// epoch skew as (its own Now) − TraceNow and shifts the shipped
+	// spans onto its epoch.
+	TraceNow int64 `json:"trace_now,omitempty"`
+	// MetricsSnap is the worker's full registry snapshot, piggybacked
+	// on heartbeat/result/fault frames when metrics shipping is on.
+	MetricsSnap *obs.Snapshot `json:"metrics,omitempty"`
+	// ObsSeq is the worker's monotonic sequence number covering Spans
+	// and MetricsSnap on this frame. Chaos transports can delay,
+	// duplicate, or reorder frames; the coordinator accepts only
+	// strictly increasing sequences per worker connection, so a stale
+	// snapshot can never overwrite a newer one and duplicated span
+	// batches splice exactly once.
+	ObsSeq int64 `json:"obs_seq,omitempty"`
 }
+
+// ObsCtx is the trace context a lease grant propagates to the worker.
+type ObsCtx struct {
+	// SpanID is the coordinator-side fleet.lease span the worker's
+	// spans should parent under (hex, as rendered by SpanID.String).
+	SpanID string `json:"span_id,omitempty"`
+	// Fingerprint seeds the worker's tracer so its derived span IDs
+	// agree with the coordinator's deterministic ID scheme.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Metrics asks the worker to also snapshot and ship its registry.
+	Metrics bool `json:"metrics,omitempty"`
+}
+
+// MaxSpanBatch caps the span records piggybacked on a single frame.
+// 256 records at worst-case attribute load stay well inside MaxFrame;
+// a worker with more finished spans ships the overflow on extra
+// heartbeat frames rather than growing one frame unboundedly.
+const MaxSpanBatch = 256
 
 // Transport carries Msgs between coordinator and worker. Send must be
 // safe for concurrent use (the worker heartbeats from a side goroutine

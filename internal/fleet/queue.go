@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/transform"
 )
@@ -27,6 +28,10 @@ type job struct {
 	key     string
 	a       transform.Assignment
 	attempt int
+	// span is the submitter's fleet.lease span ID, propagated to the
+	// worker in the lease grant so worker-side spans parent under it
+	// (0 when tracing is off).
+	span obs.SpanID
 	// done receives the job's single resolution. Buffered so the
 	// resolving goroutine never blocks on a slow submitter.
 	done chan outcome
@@ -69,8 +74,8 @@ func newQueue() *queue {
 }
 
 // submit enqueues one evaluation and returns its job handle.
-func (q *queue) submit(a transform.Assignment, key string, attempt int) *job {
-	j := &job{key: key, a: a, attempt: attempt, done: make(chan outcome, 1)}
+func (q *queue) submit(a transform.Assignment, key string, attempt int, span obs.SpanID) *job {
+	j := &job{key: key, a: a, attempt: attempt, span: span, done: make(chan outcome, 1)}
 	q.mu.Lock()
 	q.pending = append(q.pending, j)
 	q.mu.Unlock()

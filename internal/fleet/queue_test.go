@@ -10,7 +10,7 @@ import (
 
 func TestQueueExactlyOnceDedup(t *testing.T) {
 	q := newQueue()
-	j := q.submit(asn(1), asn(1).Key(), 1)
+	j := q.submit(asn(1), asn(1).Key(), 1, 0)
 	l := q.acquire(context.Background(), 0, time.Minute)
 	if l == nil || l.job != j {
 		t.Fatal("acquire did not grant the submitted job")
@@ -48,7 +48,7 @@ func TestLateHeartbeatDoesNotResurrectExpiredLease(t *testing.T) {
 	q := newQueue()
 	now := time.Unix(1_000_000, 0)
 	q.clock = func() time.Time { return now }
-	j := q.submit(asn(1), asn(1).Key(), 1)
+	j := q.submit(asn(1), asn(1).Key(), 1, 0)
 	l := q.acquire(context.Background(), 0, time.Minute)
 	if l == nil {
 		t.Fatal("acquire failed")
@@ -86,7 +86,7 @@ func TestResultRacingExpiryIsRefusedExactlyOnce(t *testing.T) {
 	q := newQueue()
 	now := time.Unix(1_000_000, 0)
 	q.clock = func() time.Time { return now }
-	j := q.submit(asn(1), asn(1).Key(), 1)
+	j := q.submit(asn(1), asn(1).Key(), 1, 0)
 	l := q.acquire(context.Background(), 0, time.Minute)
 	now = now.Add(2 * time.Minute)
 	if !q.fail(l.id, &WorkerFault{Key: j.key, Msg: "expired"}) {
@@ -108,7 +108,7 @@ func TestResultRacingExpiryIsRefusedExactlyOnce(t *testing.T) {
 	// had not fired yet); the expiry's fail must then be refused.
 	q2 := newQueue()
 	q2.clock = func() time.Time { return now }
-	j2 := q2.submit(asn(2), asn(2).Key(), 1)
+	j2 := q2.submit(asn(2), asn(2).Key(), 1, 0)
 	l2 := q2.acquire(context.Background(), 0, time.Minute)
 	now = now.Add(2 * time.Minute)
 	if !q2.complete(l2.id, ev) {
@@ -129,8 +129,8 @@ func TestResultRacingExpiryIsRefusedExactlyOnce(t *testing.T) {
 
 func TestQueueAcquireOrderAndCancel(t *testing.T) {
 	q := newQueue()
-	j1 := q.submit(asn(1), "k1", 1)
-	j2 := q.submit(asn(2), "k2", 1)
+	j1 := q.submit(asn(1), "k1", 1, 0)
+	j2 := q.submit(asn(2), "k2", 1, 0)
 	l1 := q.acquire(context.Background(), 0, time.Minute)
 	l2 := q.acquire(context.Background(), 1, time.Minute)
 	if l1.job != j1 || l2.job != j2 {
@@ -145,7 +145,7 @@ func TestQueueAcquireOrderAndCancel(t *testing.T) {
 
 func TestQueueWithdraw(t *testing.T) {
 	q := newQueue()
-	j := q.submit(asn(1), "k", 1)
+	j := q.submit(asn(1), "k", 1, 0)
 	if !q.withdraw(j) {
 		t.Fatal("withdraw of a pending job refused")
 	}
@@ -155,7 +155,7 @@ func TestQueueWithdraw(t *testing.T) {
 		t.Error("withdrawn job still leased")
 	}
 
-	j2 := q.submit(asn(2), "k2", 1)
+	j2 := q.submit(asn(2), "k2", 1, 0)
 	l := q.acquire(context.Background(), 0, time.Minute)
 	if l == nil {
 		t.Fatal("acquire failed")

@@ -130,12 +130,36 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// Histogram summarizes a stream of observations (count/sum/min/max).
+// Histogram summarizes a stream of observations: count/sum/min/max plus
+// exponential power-of-two buckets (bucket e counts samples v with
+// 2^e ≤ v < 2^(e+1)), which merge exactly across processes — the fleet
+// coordinator folds worker histograms into its own by elementwise
+// bucket addition.
 type Histogram struct {
 	mu       sync.Mutex
 	count    int64
 	sum      float64
 	min, max float64
+	buckets  map[int]int64
+}
+
+// bucketNonPos is the bucket exponent collecting samples ≤ 0, which
+// have no base-2 exponent of their own.
+const bucketNonPos = -1 << 10
+
+// bucketExp maps a sample to its power-of-two bucket exponent.
+func bucketExp(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return bucketNonPos
+	}
+	e := math.Ilogb(v)
+	if e < bucketNonPos+1 {
+		return bucketNonPos + 1
+	}
+	if e > 1<<10 {
+		return 1 << 10 // +Inf and friends
+	}
+	return e
 }
 
 // Observe records one sample.
@@ -152,16 +176,48 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	if h.buckets == nil {
+		h.buckets = make(map[int]int64)
+	}
+	h.buckets[bucketExp(v)]++
 	h.mu.Unlock()
 }
 
-// HistogramSnapshot is one histogram's frozen summary.
+// Merge folds a frozen summary (typically shipped from a fleet worker)
+// into the histogram, as if h had observed the other histogram's whole
+// stream: counts, sums, and buckets add; min/max widen. Merging an
+// empty snapshot is a no-op. Nil-safe.
+func (h *Histogram) Merge(s HistogramSnapshot) {
+	if h == nil || s.Count == 0 {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || s.Min < h.min {
+		h.min = s.Min
+	}
+	if h.count == 0 || s.Max > h.max {
+		h.max = s.Max
+	}
+	h.count += s.Count
+	h.sum += s.Sum
+	if len(s.Buckets) > 0 && h.buckets == nil {
+		h.buckets = make(map[int]int64, len(s.Buckets))
+	}
+	for e, n := range s.Buckets {
+		h.buckets[e] += n
+	}
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is one histogram's frozen summary. Buckets is keyed
+// by power-of-two exponent (JSON object keys are the decimal exponent).
 type HistogramSnapshot struct {
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-	Mean  float64 `json:"mean"`
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Min     float64       `json:"min"`
+	Max     float64       `json:"max"`
+	Mean    float64       `json:"mean"`
+	Buckets map[int]int64 `json:"buckets,omitempty"`
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -171,7 +227,71 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	if h.count > 0 {
 		s.Mean = h.sum / float64(h.count)
 	}
+	if len(h.buckets) > 0 {
+		s.Buckets = make(map[int]int64, len(h.buckets))
+		for e, n := range h.buckets {
+			s.Buckets[e] = n
+		}
+	}
 	return s
+}
+
+// mergeHistSnapshots folds b into a and returns the combined summary.
+func mergeHistSnapshots(a, b HistogramSnapshot) HistogramSnapshot {
+	if b.Count == 0 {
+		return a
+	}
+	if a.Count == 0 {
+		return b
+	}
+	out := HistogramSnapshot{
+		Count: a.Count + b.Count,
+		Sum:   a.Sum + b.Sum,
+		Min:   math.Min(a.Min, b.Min),
+		Max:   math.Max(a.Max, b.Max),
+	}
+	out.Mean = out.Sum / float64(out.Count)
+	if len(a.Buckets)+len(b.Buckets) > 0 {
+		out.Buckets = make(map[int]int64, len(a.Buckets)+len(b.Buckets))
+		for e, n := range a.Buckets {
+			out.Buckets[e] += n
+		}
+		for e, n := range b.Buckets {
+			out.Buckets[e] += n
+		}
+	}
+	return out
+}
+
+// MergeSnapshots combines registry snapshots from several sources into
+// one: counters sum, histogram summaries fold exactly (counts, sums,
+// and power-of-two buckets add; min/max widen), gauges are last-write-
+// wins in argument order. Merging zero or all-empty snapshots returns
+// the zero Snapshot. This is the aggregation the fleet coordinator
+// applies to worker metric snapshots.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	for _, s := range snaps {
+		for k, v := range s.Counters {
+			if out.Counters == nil {
+				out.Counters = make(map[string]int64)
+			}
+			out.Counters[k] += v
+		}
+		for k, v := range s.Gauges {
+			if out.Gauges == nil {
+				out.Gauges = make(map[string]float64)
+			}
+			out.Gauges[k] = v
+		}
+		for k, v := range s.Histograms {
+			if out.Histograms == nil {
+				out.Histograms = make(map[string]HistogramSnapshot)
+			}
+			out.Histograms[k] = mergeHistSnapshots(out.Histograms[k], v)
+		}
+	}
+	return out
 }
 
 // Snapshot is a point-in-time copy of every instrument in a registry.

@@ -22,7 +22,13 @@ const (
 	SpanInterpRun     = "interp.run"     // one interpreter execution
 	SpanJournalAppend = "journal.append" // one fsync'd journal record
 	SpanFleetLease    = "fleet.lease"    // one lease round trip to a fleet worker
+	SpanWorkerEval    = "worker.eval"    // one evaluation on a fleet worker, under the propagated lease span
 )
+
+// WorkerPIDBase is the Chrome-trace process lane of worker slot 0: a
+// worker slot's spans render under pid WorkerPIDBase+slot, keeping them
+// visually distinct from the coordinator's pid 1.
+const WorkerPIDBase = 100
 
 // Metric names. Counters unless noted; the *Prefix constants are
 // families keyed by a dynamic suffix (status, fault kind, event type).
@@ -68,6 +74,16 @@ const (
 	MetricFleetNetPartitionExpired = "fleet_net_partition_expired" // parked leases expired before their worker returned
 	MetricFleetNetDupRefused       = "fleet_net_dup_refused"       // duplicate/stale frames refused by the exactly-once dedup
 	MetricFleetNetFrameErrors      = "fleet_net_frame_errors"      // malformed/oversized frames that retired a connection
+
+	// Distributed-observability counters, populated only when worker
+	// metric/span shipping is on (tracing or metrics enabled on a fleet
+	// run). Aggregated worker instruments land under MetricFleetWorkersPrefix
+	// ("fleet.workers.<name>"); the dot namespace keeps them visually
+	// apart from the coordinator's own fleet_* counters.
+	MetricFleetWorkersPrefix = "fleet.workers."         // merged worker registry namespace
+	MetricFleetObsSpans      = "fleet_obs_spans"        // worker spans spliced into the coordinator trace
+	MetricFleetObsSnapshots  = "fleet_obs_snapshots"    // worker metric snapshots merged
+	MetricFleetObsStale      = "fleet_obs_stale_frames" // out-of-order/duplicate obs frames dropped
 
 	GaugeBestSpeedup = "best_speedup" // best passing speedup so far
 	GaugeBreakerOpen = "breaker_open" // 1 while the circuit breaker is open

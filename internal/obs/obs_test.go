@@ -132,6 +132,11 @@ func TestChromeExportRoundTrip(t *testing.T) {
 	e.End()
 	c.End()
 	root.End()
+	// A worker-lane record spliced in from another process: its pid lane
+	// (WorkerPIDBase+slot) must survive export and reload, while local
+	// spans keep PID 0 (exported as lane 1, normalized back on load).
+	tr.Ingest([]SpanRecord{{ID: 0xfeed, Parent: root.ID(), Name: "worker.eval",
+		Worker: 3, PID: WorkerPIDBase + 3, Start: 2 * time.Millisecond, Dur: time.Millisecond}})
 
 	path := filepath.Join(t.TempDir(), "out.trace")
 	if err := tr.WriteFile(path); err != nil {
@@ -151,8 +156,20 @@ func TestChromeExportRoundTrip(t *testing.T) {
 	for i := range orig {
 		o, l := orig[i], recs[i]
 		if o.ID != l.ID || o.Parent != l.Parent || o.Name != l.Name ||
-			o.Worker != l.Worker || o.Start != l.Start || o.Dur != l.Dur {
+			o.Worker != l.Worker || o.PID != l.PID || o.Start != l.Start || o.Dur != l.Dur {
 			t.Errorf("record %d: %+v loaded as %+v", i, o, l)
+		}
+	}
+	for _, r := range recs {
+		switch r.Name {
+		case "worker.eval":
+			if r.PID != WorkerPIDBase+3 {
+				t.Errorf("worker span reloaded into pid %d, want %d", r.PID, WorkerPIDBase+3)
+			}
+		default:
+			if r.PID != 0 {
+				t.Errorf("local span %q reloaded into pid %d, want 0", r.Name, r.PID)
+			}
 		}
 	}
 	var loaded SpanRecord

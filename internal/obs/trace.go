@@ -21,21 +21,27 @@ type SpanID uint64
 func (id SpanID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
 
 // Attr is one key/value span attribute (variant key, outcome, cost…).
+// The JSON tags matter: span records travel inside fleet protocol
+// frames when workers ship their spans to the coordinator.
 type Attr struct {
-	Key   string
-	Value string
+	Key   string `json:"k"`
+	Value string `json:"v"`
 }
 
 // SpanRecord is one finished span as stored in the trace buffer and as
 // reloaded from a trace file. Start is an offset from the tracer epoch.
+// PID is the Chrome-trace process lane: 0 means "this process" (exported
+// as pid 1); the fleet coordinator rebases worker-shipped records into
+// per-worker lanes (see fleet docs).
 type SpanRecord struct {
-	ID     SpanID
-	Parent SpanID // 0 for root spans
-	Name   string
-	Worker int // worker-slot attribution; becomes the trace tid
-	Start  time.Duration
-	Dur    time.Duration
-	Attrs  []Attr
+	ID     SpanID        `json:"id"`
+	Parent SpanID        `json:"parent,omitempty"` // 0 for root spans
+	Name   string        `json:"name"`
+	Worker int           `json:"worker,omitempty"` // worker-slot attribution; becomes the trace tid
+	PID    int           `json:"pid,omitempty"`    // process lane; 0 = local process
+	Start  time.Duration `json:"start"`
+	Dur    time.Duration `json:"dur"`
+	Attrs  []Attr        `json:"attrs,omitempty"`
 }
 
 // End returns the span's finish offset from the tracer epoch.
@@ -70,6 +76,12 @@ type Tracer struct {
 	epoch       time.Time
 	rootSeq     atomic.Uint64
 	shards      [traceShards]traceShard
+
+	// Child-sequence allocation for spans whose parent lives in
+	// another process (ChildOf). Keyed by the remote parent ID so the
+	// derived IDs stay deterministic per parent.
+	remoteMu  sync.Mutex
+	remoteSeq map[SpanID]uint64
 }
 
 // NewTracer returns a tracer whose span IDs are seeded from the given
@@ -101,6 +113,88 @@ func (t *Tracer) Root(name string) *Span {
 		id:    deriveID(t.fpHash, 0, t.rootSeq.Add(1)),
 		name:  name,
 		start: time.Now(),
+	}
+}
+
+// ChildOf starts a span under a parent identified only by its ID — the
+// parent span lives in another process and arrived over the fleet
+// protocol. Child sequence numbers are scoped to the remote parent ID,
+// so IDs stay deterministic as long as the caller's ChildOf order per
+// parent is (which it is: a worker runs its leases sequentially).
+// Nil-safe: returns a nil span on a nil tracer. A zero parent starts a
+// root span.
+func (t *Tracer) ChildOf(parent SpanID, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if parent == 0 {
+		return t.Root(name)
+	}
+	t.remoteMu.Lock()
+	if t.remoteSeq == nil {
+		t.remoteSeq = make(map[SpanID]uint64)
+	}
+	t.remoteSeq[parent]++
+	seq := t.remoteSeq[parent]
+	t.remoteMu.Unlock()
+	return &Span{
+		t:      t,
+		id:     deriveID(t.fpHash, parent, seq),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// Now returns the current offset from the tracer epoch — the same clock
+// SpanRecord.Start is expressed in. The fleet protocol uses it to
+// rebase worker span times onto the coordinator's epoch. Nil-safe
+// (returns 0).
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.epoch)
+}
+
+// Drain removes and returns all finished spans buffered so far, sorted
+// by start offset then ID. Spans still live (not yet Ended) are
+// unaffected; the tracer remains usable. This is how a fleet worker
+// ships completed spans to the coordinator without rebuffering them.
+func (t *Tracer) Drain() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	var recs []SpanRecord
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		recs = append(recs, sh.recs...)
+		sh.recs = nil
+		sh.mu.Unlock()
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Start != recs[j].Start {
+			return recs[i].Start < recs[j].Start
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	return recs
+}
+
+// Ingest appends externally produced span records — already rebased to
+// this tracer's epoch — into the span buffers. The fleet coordinator
+// uses it to splice worker-shipped spans into the run trace. Nil-safe
+// no-op.
+func (t *Tracer) Ingest(recs []SpanRecord) {
+	if t == nil {
+		return
+	}
+	for _, r := range recs {
+		sh := &t.shards[uint64(r.ID)%traceShards]
+		sh.mu.Lock()
+		sh.recs = append(sh.recs, r)
+		sh.mu.Unlock()
 	}
 }
 
@@ -315,13 +409,19 @@ func (t *Tracer) Export(w io.Writer) error {
 		}
 		args[argStartNS] = strconv.FormatInt(int64(r.Start), 10)
 		args[argDurNS] = strconv.FormatInt(int64(r.Dur), 10)
+		// PID 0 ("this process") renders as the viewer's pid 1; fleet
+		// worker lanes carry their own nonzero PIDs.
+		pid := r.PID
+		if pid == 0 {
+			pid = 1
+		}
 		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
 			Name: r.Name,
 			Cat:  "prose",
 			Ph:   "X",
 			TS:   float64(r.Start) / 1e3,
 			Dur:  float64(r.Dur) / 1e3,
-			PID:  1,
+			PID:  pid,
 			TID:  r.Worker,
 			Args: args,
 		})
@@ -359,7 +459,12 @@ func LoadTrace(path string) ([]SpanRecord, map[string]string, error) {
 		if ev.Ph != "X" {
 			continue
 		}
-		r := SpanRecord{Name: ev.Name, Worker: ev.TID}
+		r := SpanRecord{Name: ev.Name, Worker: ev.TID, PID: ev.PID}
+		// Export renders the local process (PID 0) as the viewer's
+		// pid 1; undo that here so reloaded records round-trip.
+		if r.PID == 1 {
+			r.PID = 0
+		}
 		// Exact nanosecond fields win; fall back to the viewer's
 		// microsecond ts/dur for traces from other producers.
 		r.Start = nsArg(ev.Args, argStartNS, time.Duration(ev.TS*1e3))

@@ -14,6 +14,8 @@
 //	prose journal  <path>              inspect a journal + events sidecar
 //	prose trace    <path>              analyze a span trace from tune -trace
 //	prose fleet-status <addr>          live fleet view from a tune -debug-addr
+//	prose runs     -ledger DIR [RUN]   list a run ledger / show one run's manifest
+//	prose compare  -ledger DIR A B     diff two archived runs, gate on regression
 package main
 
 import (
@@ -39,6 +41,7 @@ import (
 	"repro/internal/gptl"
 	"repro/internal/interp"
 	"repro/internal/journal"
+	"repro/internal/ledger"
 	"repro/internal/models"
 	"repro/internal/numerics"
 	"repro/internal/obs"
@@ -58,6 +61,7 @@ const (
 	exitBreaker    = 3 // resilience circuit breaker tripped
 	exitQuarantine = 4 // resilience quarantine budget exhausted
 	exitCancelled  = 5 // orderly shutdown: signal or wall-clock budget
+	exitRegression = 6 // prose compare found a regression beyond thresholds
 )
 
 // exitCodeFor maps a command error to the process exit code.
@@ -75,6 +79,10 @@ func exitCodeFor(err error) int {
 	var cancelled *search.Cancelled
 	if errors.As(err, &cancelled) {
 		return exitCancelled
+	}
+	var reg *regressionError
+	if errors.As(err, &reg) {
+		return exitRegression
 	}
 	return exitErr
 }
@@ -110,6 +118,10 @@ func main() {
 		err = cmdTrace(os.Args[2:])
 	case "fleet-status":
 		err = cmdFleetStatus(os.Args[2:])
+	case "runs":
+		err = cmdRuns(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -143,6 +155,10 @@ commands:
   fleet-status
              poll a running tune -debug-addr for live fleet health: per-worker
              state, leases, reconnects, and the merged worker metrics
+  runs       list a tune -ledger run archive, or show one run's manifest and
+             its per-round search funnel
+  compare    judge one archived run against a baseline run with regression
+             thresholds (exit code 6 on regression)
 
 run 'prose <command> -h' for flags.
 `)
@@ -238,6 +254,8 @@ func cmdTune(args []string) error {
 	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address for the duration of the run (e.g. localhost:6060)")
 	progressEvery := fs.Duration("progress", 0, "print a live progress heartbeat to stderr at this interval (0 = off)")
 	numericsOn := fs.Bool("numerics", false, "shadow-execute every variant and attach numeric_* diagnostics to spans and metrics (diagnostic only: journal bytes unchanged)")
+	ledgerDir := fs.String("ledger", "", "archive this run's manifest into the run ledger at DIR (inspect with 'prose runs' / 'prose compare'); with -journal, also streams decision telemetry to <journal>.decisions")
+	decisionsPath := fs.String("decisions", "", "stream per-round search-decision telemetry to this file (byte-stable across -par and -resume; journal bytes unchanged)")
 	engineName := fs.String("engine", "vm", "interpreter engine: vm (closure-compiled, default) or ast (reference tree-walker); bit-identical results either way")
 	workers := fs.Int("workers", 0, "shard variant evaluation across N 'prose worker' subprocesses (0 = in-process); worker crashes become supervised retries and the journal stays byte-identical")
 	leaseTTL := fs.Duration("lease-ttl", fleet.DefaultLeaseTTL, "fleet: wall-clock budget per leased evaluation; an expired lease is failed as a hang fault and reassigned")
@@ -285,11 +303,15 @@ func cmdTune(args []string) error {
 		RetriesByClass: byClass, Watchdog: *watchdog,
 		HalfOpen: *halfOpen, DrainGrace: *drainGrace,
 		Numerics: *numericsOn, Engine: engine,
+		LedgerDir: *ledgerDir, DecisionPath: *decisionsPath,
+	}
+	if opts.LedgerDir != "" && opts.DecisionPath == "" && *journalPath != "" {
+		opts.DecisionPath = ledger.DecisionPath(*journalPath)
 	}
 	// Observability is strictly out-of-band: neither the tracer nor the
 	// registry is part of the run fingerprint, and enabling them must
 	// not change a single journal byte (test-enforced).
-	if *tracePath != "" || *debugAddr != "" || *progressEvery > 0 || *numericsOn {
+	if *tracePath != "" || *debugAddr != "" || *progressEvery > 0 || *numericsOn || *ledgerDir != "" {
 		opts.Metrics = obs.NewRegistry()
 	}
 	if *tracePath != "" {
@@ -1060,7 +1082,9 @@ func renderWorkerMetrics(s obs.Snapshot) {
 	sort.Strings(hk)
 	for _, k := range hk {
 		h := s.Histograms[k]
-		fmt.Printf("    %-52s n=%d mean=%.0f min=%.0f max=%.0f\n", k, h.Count, h.Mean, h.Min, h.Max)
+		q := h.Quantiles()
+		fmt.Printf("    %-52s n=%d mean=%.0f min=%.0f max=%.0f p50=%.0f p95=%.0f p99=%.0f\n",
+			k, h.Count, h.Mean, h.Min, h.Max, q.P50, q.P95, q.P99)
 	}
 }
 

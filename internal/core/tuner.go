@@ -27,6 +27,7 @@ import (
 	"repro/internal/gptl"
 	"repro/internal/interp"
 	"repro/internal/journal"
+	"repro/internal/ledger"
 	"repro/internal/models"
 	"repro/internal/numerics"
 	"repro/internal/obs"
@@ -155,6 +156,24 @@ type Options struct {
 	// recorded under one engine resumes byte-identically under the other
 	// (test-enforced by TestEngineJournalByteIdentity).
 	Engine interp.Engine
+
+	// DecisionPath, if non-empty, streams the search's per-round decision
+	// telemetry (candidate lifecycle, funnel tallies, best-so-far,
+	// frontier) to an append-only JSONL sidecar at this path — see
+	// internal/ledger. Like Trace/Metrics it is strictly observational:
+	// not fingerprinted, journal bytes unchanged. The file is recreated
+	// on every run, Resume included: the stream derives only from the
+	// deterministic evaluation log, so a resumed run rewrites it
+	// byte-identically to an uninterrupted run's (test-enforced by
+	// TestDecisionLogKillResumeByteIdentical).
+	DecisionPath string
+	// LedgerDir, if non-empty, archives the run into the content-
+	// addressed run ledger at this directory when Run returns: a
+	// manifest carrying the fingerprint, machine, engine, result
+	// summary, final metrics snapshot (with histogram quantiles), fleet
+	// stats, and the decision-log digest. See internal/ledger and
+	// `prose runs` / `prose compare`.
+	LedgerDir string
 
 	// Fleet, if non-nil, shards every variant evaluation across this
 	// coordinator's worker subprocesses instead of running it in-process.
@@ -876,6 +895,7 @@ func (t *Tuner) openJournal(withEvents bool) (*journalState, error) {
 // degradation, while the error signals that the search did not finish.
 func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 	criteria, budget := t.searchParams()
+	start := time.Now()
 
 	// The run's root trace span. Everything below hangs off it, so the
 	// per-phase self times of the trace telescope to its duration.
@@ -922,6 +942,18 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 		Metrics:        t.opts.Metrics,
 	}
 	supervising := t.opts.supervising()
+
+	var dlog *ledger.DecisionLog
+	if t.opts.DecisionPath != "" {
+		dl, err := ledger.CreateDecisionLog(t.opts.DecisionPath, t.Fingerprint(), t.model.Name)
+		if err != nil {
+			return nil, err
+		}
+		dl.SetMetrics(t.opts.Metrics)
+		defer dl.Close() // safety net; the explicit Close below is the real one
+		sopts.Decisions = dl
+		dlog = dl
+	}
 
 	resumed, salvaged := 0, 0
 	var jnl *journal.Journal
@@ -1123,6 +1155,22 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 		fleetStats = &st
 	}
 
+	// Close the decision log before snapshotting metrics or archiving
+	// the manifest: the digest must cover the complete stream, and a
+	// sidecar write failure should surface on an otherwise-successful
+	// run rather than vanish (an aborted/cancelled run's partial result
+	// matters more than its telemetry, so the error is dropped there).
+	var decisionDigest string
+	var decisionEvents int64
+	if dlog != nil {
+		derr := dlog.Close()
+		decisionDigest = dlog.Digest()
+		decisionEvents = dlog.Events()
+		if derr != nil && abortErr == nil && cancelErr == nil {
+			return nil, derr
+		}
+	}
+
 	result := &Result{
 		Model:        t.model,
 		Options:      t.opts,
@@ -1157,6 +1205,22 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 		sort.Slice(list, func(i, j int) bool { return list[i].FromIndex < list[j].FromIndex })
 		result.ProcVariants[q] = list
 	}
+
+	// Archive the run manifest. Aborted and cancelled runs archive too —
+	// a ledger that only remembers successes can't explain a regression —
+	// but like the decision sidecar, an archive failure only fails an
+	// otherwise-successful run.
+	if t.opts.LedgerDir != "" {
+		m := t.buildManifest(result, start, abortErr, cancelErr, decisionDigest, decisionEvents)
+		led, lerr := ledger.Open(t.opts.LedgerDir)
+		if lerr == nil {
+			_, lerr = led.Put(m)
+		}
+		if lerr != nil && abortErr == nil && cancelErr == nil {
+			return nil, lerr
+		}
+	}
+
 	if abortErr != nil {
 		return result, abortErr
 	}
@@ -1164,4 +1228,65 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 		return result, cancelErr
 	}
 	return result, nil
+}
+
+// buildManifest assembles the run's ledger manifest from the completed
+// Result.
+func (t *Tuner) buildManifest(res *Result, start time.Time, abortErr *resilience.AbortError, cancelErr *search.Cancelled, decisionDigest string, decisionEvents int64) *ledger.Manifest {
+	criteria, budget := t.searchParams()
+	m := &ledger.Manifest{
+		Kind: ledger.ManifestKind, V: ledger.ManifestVersion,
+		Model:       t.model.Name,
+		Fingerprint: t.Fingerprint(),
+		// The machine *name* is for humans; the full parameter signature
+		// is already folded into the fingerprint above.
+		Machine:     t.machine.Name,
+		Engine:      t.opts.Engine.String(),
+		Seed:        t.opts.Seed,
+		WholeModel:  t.opts.WholeModel,
+		Budget:      budget,
+		MaxRelError: criteria.MaxRelError,
+		MinSpeedup:  criteria.MinSpeedup,
+		Parallelism: t.opts.Parallelism,
+
+		StartUnixNS: start.UnixNano(),
+		WallMS:      time.Since(start).Milliseconds(),
+
+		Outcome:      "completed",
+		Converged:    res.Outcome.Converged,
+		Evaluations:  len(res.Outcome.Log.Evals),
+		Resumed:      res.Resumed,
+		Salvaged:     res.Salvaged,
+		TotalAtoms:   len(t.atoms),
+		MinimalAtoms: len(res.Outcome.Minimal),
+
+		Fleet:   res.Fleet,
+		Metrics: res.Metrics,
+
+		JournalPath:    t.opts.JournalPath,
+		DecisionPath:   t.opts.DecisionPath,
+		DecisionDigest: decisionDigest,
+		DecisionEvents: decisionEvents,
+	}
+	if abortErr != nil {
+		m.Outcome = "aborted"
+	}
+	if cancelErr != nil {
+		m.Outcome = "cancelled"
+	}
+	if len(res.Outcome.Log.Evals) > 0 {
+		m.Statuses = make(map[string]int)
+		for _, ev := range res.Outcome.Log.Evals {
+			m.Statuses[ev.Status.String()]++
+		}
+	}
+	if best := res.Outcome.Log.Best(criteria); best != nil {
+		m.BestSpeedup = best.Speedup
+		m.BestRelError = best.RelError
+		m.BestLowered = best.Lowered
+	}
+	if res.Metrics != nil {
+		m.Quantiles = res.Metrics.QuantileSummary()
+	}
+	return m
 }

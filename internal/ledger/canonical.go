@@ -1,0 +1,34 @@
+package ledger
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// CanonicalJSON encodes v as deterministic, diff-friendly JSON: every
+// object's keys sorted, two-space indentation, trailing newline.
+// Numbers round-trip through json.Number so no float formatting drifts
+// between the original encoding and the canonical one. Manifest content
+// addresses are hashes of this form, and BENCH_interp.json is emitted
+// through it so bench diffs stay stable.
+func CanonicalJSON(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	// Re-decode into plain maps/slices: encoding/json sorts map keys on
+	// marshal, which is what canonicalizes field order regardless of the
+	// struct's declaration order.
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var generic any
+	if err := dec.Decode(&generic); err != nil {
+		return nil, fmt.Errorf("ledger: canonicalizing: %w", err)
+	}
+	out, err := json.MarshalIndent(generic, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

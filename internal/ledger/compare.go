@@ -1,0 +1,165 @@
+package ledger
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Thresholds configures what Compare counts as a regression when run B
+// is judged against baseline run A.
+type Thresholds struct {
+	// MaxSpeedupDrop is the tolerated fractional drop in best speedup
+	// (0.02 = 2%). A drop beyond it, or losing a passing variant
+	// entirely, is a regression.
+	MaxSpeedupDrop float64
+	// MaxErrorRise is the tolerated fractional rise in the best
+	// variant's relative error (0.5 = 50% — errors are tiny and noisy,
+	// so the default is loose).
+	MaxErrorRise float64
+	// MaxEvalsRise is the tolerated fractional growth in evaluations
+	// used (0.25 = 25%); more evals for the same result means the
+	// search got less efficient.
+	MaxEvalsRise float64
+}
+
+// DefaultThresholds are the `prose compare` defaults.
+func DefaultThresholds() Thresholds {
+	return Thresholds{MaxSpeedupDrop: 0.02, MaxErrorRise: 0.5, MaxEvalsRise: 0.25}
+}
+
+// Comparison is the result of judging run B against baseline run A.
+type Comparison struct {
+	A *Manifest `json:"a"`
+	B *Manifest `json:"b"`
+
+	SpeedupDelta float64 `json:"speedup_delta"` // B - A best speedup
+	ErrorDelta   float64 `json:"error_delta"`   // B - A best rel error
+	EvalsDelta   int     `json:"evals_delta"`   // B - A evaluations
+	WallDeltaMS  int64   `json:"wall_delta_ms"` // B - A wall ms
+
+	// Regressions lists every threshold breach; empty means B passes.
+	Regressions []string `json:"regressions,omitempty"`
+	// Warnings are notable but non-gating differences (e.g. the two
+	// runs have different fingerprints and aren't strictly comparable).
+	Warnings []string `json:"warnings,omitempty"`
+	// CounterDeltas holds B-A for every counter present in either
+	// run's metrics snapshot, keyed by counter name (zero deltas
+	// omitted).
+	CounterDeltas map[string]int64 `json:"counter_deltas,omitempty"`
+}
+
+// Regressed reports whether the comparison found any regression.
+func (c *Comparison) Regressed() bool { return len(c.Regressions) > 0 }
+
+// Compare judges run B against baseline run A under the given
+// thresholds. Checks: best-speedup drop, lost passing variant, relative
+// error rise, evaluation-count growth, and convergence loss. A
+// fingerprint mismatch is a warning, not a regression — comparing a
+// tune against a different program or budget is legitimate, but the
+// reader should know.
+func Compare(a, b *Manifest, th Thresholds) *Comparison {
+	c := &Comparison{
+		A: a, B: b,
+		SpeedupDelta: b.BestSpeedup - a.BestSpeedup,
+		ErrorDelta:   b.BestRelError - a.BestRelError,
+		EvalsDelta:   b.Evaluations - a.Evaluations,
+		WallDeltaMS:  b.WallMS - a.WallMS,
+	}
+	if a.Fingerprint != b.Fingerprint {
+		c.Warnings = append(c.Warnings, "runs have different fingerprints (different program, options, or machine) — deltas compare apples to oranges")
+	}
+	if a.Outcome != "completed" || b.Outcome != "completed" {
+		c.Warnings = append(c.Warnings, fmt.Sprintf("outcomes %s vs %s: a non-completed run's summary reflects partial work", a.Outcome, b.Outcome))
+	}
+
+	switch {
+	case a.BestSpeedup > 0 && b.BestSpeedup == 0:
+		c.Regressions = append(c.Regressions, fmt.Sprintf("lost the passing variant: best speedup %.4gx -> none", a.BestSpeedup))
+	case a.BestSpeedup > 0 && b.BestSpeedup < a.BestSpeedup*(1-th.MaxSpeedupDrop):
+		c.Regressions = append(c.Regressions, fmt.Sprintf("best speedup dropped %.4gx -> %.4gx (%.1f%% > %.1f%% tolerance)",
+			a.BestSpeedup, b.BestSpeedup, 100*(a.BestSpeedup-b.BestSpeedup)/a.BestSpeedup, 100*th.MaxSpeedupDrop))
+	}
+	if a.BestRelError > 0 && b.BestRelError > a.BestRelError*(1+th.MaxErrorRise) {
+		c.Regressions = append(c.Regressions, fmt.Sprintf("best variant's relative error rose %.4g -> %.4g (> %.0f%% tolerance)",
+			a.BestRelError, b.BestRelError, 100*th.MaxErrorRise))
+	}
+	if a.Evaluations > 0 && float64(b.Evaluations) > float64(a.Evaluations)*(1+th.MaxEvalsRise) {
+		c.Regressions = append(c.Regressions, fmt.Sprintf("evaluations used rose %d -> %d (> %.0f%% tolerance)",
+			a.Evaluations, b.Evaluations, 100*th.MaxEvalsRise))
+	}
+	if a.Converged && !b.Converged {
+		c.Regressions = append(c.Regressions, "search converged in the baseline but stopped on budget in the candidate")
+	}
+
+	c.CounterDeltas = counterDeltas(a, b)
+	return c
+}
+
+func counterDeltas(a, b *Manifest) map[string]int64 {
+	av := map[string]int64{}
+	if a.Metrics != nil {
+		for k, v := range a.Metrics.Counters {
+			av[k] = v
+		}
+	}
+	out := map[string]int64{}
+	if b.Metrics != nil {
+		for k, v := range b.Metrics.Counters {
+			if d := v - av[k]; d != 0 {
+				out[k] = d
+			}
+			delete(av, k)
+		}
+	}
+	for k, v := range av { // counters only in A
+		if v != 0 {
+			out[k] = -v
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Render formats the comparison as the `prose compare` text report.
+func (c *Comparison) Render() string {
+	var sb strings.Builder
+	short := func(id string) string {
+		if len(id) > 12 {
+			return id[:12]
+		}
+		return id
+	}
+	fmt.Fprintf(&sb, "compare: %s (baseline) vs %s\n", short(c.A.ID), short(c.B.ID))
+	fmt.Fprintf(&sb, "  model       %-24s -> %s\n", c.A.Model, c.B.Model)
+	fmt.Fprintf(&sb, "  speedup     %-24s -> %s   (%+.4g)\n", fmt.Sprintf("%.4gx", c.A.BestSpeedup), fmt.Sprintf("%.4gx", c.B.BestSpeedup), c.SpeedupDelta)
+	fmt.Fprintf(&sb, "  rel error   %-24s -> %s   (%+.4g)\n", fmt.Sprintf("%.4g", c.A.BestRelError), fmt.Sprintf("%.4g", c.B.BestRelError), c.ErrorDelta)
+	fmt.Fprintf(&sb, "  evaluations %-24d -> %d   (%+d)\n", c.A.Evaluations, c.B.Evaluations, c.EvalsDelta)
+	fmt.Fprintf(&sb, "  wall ms     %-24d -> %d   (%+d)\n", c.A.WallMS, c.B.WallMS, c.WallDeltaMS)
+	fmt.Fprintf(&sb, "  converged   %-24v -> %v\n", c.A.Converged, c.B.Converged)
+	if len(c.CounterDeltas) > 0 {
+		sb.WriteString("  counter deltas (B - A):\n")
+		keys := make([]string, 0, len(c.CounterDeltas))
+		for k := range c.CounterDeltas {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "    %-40s %+d\n", k, c.CounterDeltas[k])
+		}
+	}
+	for _, w := range c.Warnings {
+		fmt.Fprintf(&sb, "  warning: %s\n", w)
+	}
+	if len(c.Regressions) == 0 {
+		sb.WriteString("  result: PASS\n")
+	} else {
+		sb.WriteString("  result: REGRESSION\n")
+		for _, r := range c.Regressions {
+			fmt.Fprintf(&sb, "    - %s\n", r)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,86 @@
+package ledger
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FunnelRound is one search round's candidate funnel, reconstructed
+// from a decision log.
+type FunnelRound struct {
+	Round       int     `json:"round"`
+	Candidates  int     `json:"candidates"`
+	Evaluated   int     `json:"evaluated"`
+	Cached      int     `json:"cached"`
+	Pruned      int     `json:"pruned"`
+	Accepted    int     `json:"accepted"`
+	Evals       int     `json:"evals"` // cumulative log length after the round
+	BestSpeedup float64 `json:"best_speedup"`
+	Frontier    int     `json:"frontier"`
+}
+
+// Funnel reconstructs the per-round search funnel from decision-log
+// events. It prefers each round's round_end tallies and falls back to
+// counting candidate events, so a torn log (killed mid-round) still
+// yields the completed prefix plus the partial round.
+func Funnel(evs []DecisionEvent) []FunnelRound {
+	var out []FunnelRound
+	byRound := map[int]*FunnelRound{}
+	get := func(round int) *FunnelRound {
+		if fr, ok := byRound[round]; ok {
+			return fr
+		}
+		out = append(out, FunnelRound{Round: round})
+		fr := &out[len(out)-1]
+		byRound[round] = fr
+		// A round's events are contiguous, so appending on first sight
+		// preserves round order; re-index in case append moved the slice.
+		for i := range out {
+			byRound[out[i].Round] = &out[i]
+		}
+		return byRound[round]
+	}
+	for _, ev := range evs {
+		fr := get(ev.Round)
+		switch ev.Ev {
+		case EvRound:
+			fr.Candidates = ev.Candidates
+		case EvCandidate:
+			switch ev.Outcome {
+			case "evaluated":
+				fr.Evaluated++
+			case "cached":
+				fr.Cached++
+			case "pruned":
+				fr.Pruned++
+			}
+			if ev.Accepted {
+				fr.Accepted++
+			}
+		case EvRoundEnd:
+			// Authoritative tallies overwrite the incremental counts.
+			*fr = FunnelRound{
+				Round: ev.Round, Candidates: ev.Candidates,
+				Evaluated: ev.Evaluated, Cached: ev.Cached, Pruned: ev.Pruned,
+				Accepted: ev.Accepts, Evals: ev.Evals,
+				BestSpeedup: ev.BestSpeedup, Frontier: ev.Frontier,
+			}
+		}
+	}
+	return out
+}
+
+// RenderFunnel formats the funnel as the `prose runs` text table.
+func RenderFunnel(rounds []FunnelRound) string {
+	var sb strings.Builder
+	sb.WriteString("round  cands  evald  cached  pruned  accept  evals  best     frontier\n")
+	for _, r := range rounds {
+		best := "-"
+		if r.BestSpeedup > 0 {
+			best = fmt.Sprintf("%.4gx", r.BestSpeedup)
+		}
+		fmt.Fprintf(&sb, "%5d  %5d  %5d  %6d  %6d  %6d  %5d  %-7s  %8d\n",
+			r.Round, r.Candidates, r.Evaluated, r.Cached, r.Pruned, r.Accepted, r.Evals, best, r.Frontier)
+	}
+	return sb.String()
+}

@@ -236,6 +236,71 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantiles is a histogram's approximate p50/p95/p99 summary,
+// reconstructed from its power-of-two buckets.
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// Quantile returns the approximate q-quantile (q in [0,1]) of the
+// observed stream. The bucket holding rank ceil(q·count) is found by
+// cumulative count and the value interpolated linearly within its
+// [2^e, 2^(e+1)) bounds, clamped to the observed min/max — so the
+// estimate is exact at the extremes and within a factor of two
+// in between, which is plenty for wait/run-time distributions. The
+// same reconstruction works on merged (fleet-aggregated) snapshots,
+// since buckets add exactly. With no bucket detail (a legacy snapshot)
+// it falls back to the mean.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	if len(s.Buckets) == 0 {
+		return s.Mean
+	}
+	exps := make([]int, 0, len(s.Buckets))
+	for e := range s.Buckets {
+		exps = append(exps, e)
+	}
+	sort.Ints(exps)
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for _, e := range exps {
+		n := float64(s.Buckets[e])
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		lo, hi := math.Ldexp(1, e), math.Ldexp(1, e+1)
+		if e == bucketNonPos {
+			lo, hi = math.Inf(-1), 0
+		}
+		lo = math.Max(lo, s.Min)
+		hi = math.Min(hi, s.Max)
+		if hi <= lo {
+			return lo
+		}
+		return lo + (rank-cum)/n*(hi-lo)
+	}
+	return s.Max
+}
+
+// Quantiles returns the snapshot's approximate p50/p95/p99.
+func (s HistogramSnapshot) Quantiles() Quantiles {
+	return Quantiles{P50: s.Quantile(0.50), P95: s.Quantile(0.95), P99: s.Quantile(0.99)}
+}
+
 // mergeHistSnapshots folds b into a and returns the combined summary.
 func mergeHistSnapshots(a, b HistogramSnapshot) HistogramSnapshot {
 	if b.Count == 0 {
@@ -356,10 +421,25 @@ func (s Snapshot) Render(indent string) string {
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
-		fmt.Fprintf(&sb, "%s%-24s n=%d mean=%.4g min=%.4g max=%.4g\n",
-			indent, name, h.Count, h.Mean, h.Min, h.Max)
+		q := h.Quantiles()
+		fmt.Fprintf(&sb, "%s%-24s n=%d mean=%.4g min=%.4g max=%.4g p50=%.4g p95=%.4g p99=%.4g\n",
+			indent, name, h.Count, h.Mean, h.Min, h.Max, q.P50, q.P95, q.P99)
 	}
 	return sb.String()
+}
+
+// QuantileSummary returns each histogram's approximate p50/p95/p99
+// keyed by name — the shape archived in a run manifest. Nil when the
+// snapshot has no histograms.
+func (s Snapshot) QuantileSummary() map[string]Quantiles {
+	if len(s.Histograms) == 0 {
+		return nil
+	}
+	out := make(map[string]Quantiles, len(s.Histograms))
+	for k, h := range s.Histograms {
+		out[k] = h.Quantiles()
+	}
+	return out
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -85,6 +85,11 @@ const (
 	MetricFleetObsSnapshots  = "fleet_obs_snapshots"    // worker metric snapshots merged
 	MetricFleetObsStale      = "fleet_obs_stale_frames" // out-of-order/duplicate obs frames dropped
 
+	// Ledger counters, populated when a run streams decision telemetry
+	// (core Options.DecisionPath / prose tune -ledger).
+	MetricDecisionRounds = "ledger_decision_rounds" // search rounds recorded in the decision log
+	MetricDecisionEvents = "ledger_decision_events" // decision-log events written
+
 	GaugeBestSpeedup = "best_speedup" // best passing speedup so far
 	GaugeBreakerOpen = "breaker_open" // 1 while the circuit breaker is open
 

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 100 samples spread across two decades: 1..100.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.snapshot()
+
+	if got := s.Quantile(0); got != s.Min {
+		t.Errorf("q0 = %g, want min %g", got, s.Min)
+	}
+	if got := s.Quantile(1); got != s.Max {
+		t.Errorf("q1 = %g, want max %g", got, s.Max)
+	}
+	// Power-of-two buckets bound any quantile to within a factor of 2
+	// of the true value.
+	for _, tc := range []struct{ q, want float64 }{{0.5, 50}, {0.95, 95}, {0.99, 99}} {
+		got := s.Quantile(tc.q)
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Errorf("q%g = %g, want within [%g, %g]", tc.q, got, tc.want/2, tc.want*2)
+		}
+	}
+	q := s.Quantiles()
+	if q.P50 > q.P95 || q.P95 > q.P99 {
+		t.Errorf("quantiles not monotone: %+v", q)
+	}
+	if q.P99 > s.Max || q.P50 < s.Min {
+		t.Errorf("quantiles outside [min,max]: %+v vs [%g,%g]", q, s.Min, s.Max)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram q50 = %g, want 0", got)
+	}
+
+	one := &Histogram{}
+	one.Observe(42)
+	if got := one.snapshot().Quantile(0.5); got < 21 || got > 84 {
+		t.Errorf("single-sample q50 = %g, want ~42", got)
+	}
+
+	// Non-positive samples land in the catch-all bucket and interpolate
+	// within [min, 0] without producing infinities.
+	neg := &Histogram{}
+	neg.Observe(-5)
+	neg.Observe(-1)
+	neg.Observe(2)
+	for _, q := range []float64{0.25, 0.5, 0.95} {
+		got := neg.snapshot().Quantile(q)
+		if math.IsInf(got, 0) || math.IsNaN(got) || got < -5 || got > 2 {
+			t.Errorf("q%g with non-positive samples = %g", q, got)
+		}
+	}
+
+	// Legacy snapshot with no bucket detail: fall back to the mean.
+	legacy := HistogramSnapshot{Count: 3, Sum: 30, Min: 5, Max: 15, Mean: 10}
+	if got := legacy.Quantile(0.5); got != 10 {
+		t.Errorf("bucket-less q50 = %g, want mean 10", got)
+	}
+}
+
+func TestQuantilesSurviveMerge(t *testing.T) {
+	a, b := &Histogram{}, &Histogram{}
+	for i := 1; i <= 50; i++ {
+		a.Observe(float64(i))
+	}
+	for i := 51; i <= 100; i++ {
+		b.Observe(float64(i))
+	}
+	merged := &Histogram{}
+	merged.Merge(a.snapshot())
+	merged.Merge(b.snapshot())
+
+	whole := &Histogram{}
+	for i := 1; i <= 100; i++ {
+		whole.Observe(float64(i))
+	}
+	mq, wq := merged.snapshot().Quantiles(), whole.snapshot().Quantiles()
+	if mq != wq {
+		t.Errorf("merged quantiles %+v differ from whole-stream %+v", mq, wq)
+	}
+}
+
+func TestSnapshotQuantileSummaryAndRender(t *testing.T) {
+	r := NewRegistry()
+	for i := 1; i <= 16; i++ {
+		r.Histogram("lat").Observe(float64(i))
+	}
+	s := r.Snapshot()
+	qs := s.QuantileSummary()
+	if len(qs) != 1 {
+		t.Fatalf("QuantileSummary has %d entries, want 1", len(qs))
+	}
+	if q := qs["lat"]; q.P50 <= 0 || q.P99 > 16 {
+		t.Errorf("lat quantiles %+v", q)
+	}
+	out := s.Render("  ")
+	if !strings.Contains(out, "p50=") || !strings.Contains(out, "p95=") || !strings.Contains(out, "p99=") {
+		t.Errorf("Render misses quantiles:\n%s", out)
+	}
+	if (Snapshot{}).QuantileSummary() != nil {
+		t.Error("empty snapshot should summarize to nil")
+	}
+}

@@ -1,0 +1,119 @@
+package search
+
+// Decision telemetry: a structured, per-round record of every
+// candidate's lifecycle through the delta-debugging search — proposed,
+// served from cache, evaluated, pruned on budget — together with the
+// evolving best-so-far and Pareto frontier. A DecisionSink observes the
+// stream; the ledger package persists it as an append-only sidecar.
+//
+// The stream is derived exclusively from deterministic search state
+// (round structure, batch order, the evaluation log), never from
+// timing, parallelism, or warm-vs-fresh provenance. It is therefore
+// byte-stable: identical at every parallelism level and across
+// kill/-resume cycles (a resumed run replays the same proposals and
+// emits the same decisions), which is what makes decision logs
+// comparable across runs and minable as training data for a surrogate
+// predictor. Enforced by core.TestDecisionLogKillResumeByteIdentical.
+
+// Candidate lifecycle outcomes recorded in a Decision.
+const (
+	// DecisionEvaluated: the candidate's assignment was resolved by an
+	// evaluation newly appended to the log this round (fresh or replayed
+	// from a resumed journal — indistinguishable by design, so the
+	// stream is byte-stable under -resume).
+	DecisionEvaluated = "evaluated"
+	// DecisionCached: the assignment was already in the log (an earlier
+	// round proposed it, or a duplicate earlier in this round's batch).
+	DecisionCached = "cached"
+	// DecisionPruned: the evaluation budget was exhausted before this
+	// candidate's slot; it was never evaluated and the search stops
+	// converging.
+	DecisionPruned = "pruned"
+)
+
+// Decision is one candidate's recorded lifecycle in one search round.
+type Decision struct {
+	Round   int    // 1-based search round
+	Seq     int    // 1-based position within the round's candidate list
+	AKey    string // canonical assignment key (transform.Assignment.Key)
+	Outcome string // DecisionEvaluated / DecisionCached / DecisionPruned
+
+	// Evaluation facts; zero for DecisionPruned.
+	Status   Status
+	Speedup  float64
+	RelError float64
+	Lowered  int
+	Accepted bool // satisfied the search criteria this round
+}
+
+// RoundSummary closes one search round: the candidate funnel tallies
+// and the search state the round left behind.
+type RoundSummary struct {
+	Round      int
+	Candidates int // proposed this round (including pruned)
+	Evaluated  int
+	Cached     int
+	Pruned     int
+	Accepted   int
+
+	Evals       int     // cumulative log length after the round
+	BestSpeedup float64 // best accepted speedup so far (0 = none yet)
+	BestAKey    string  // its assignment key
+	Frontier    int     // current speedup-error Pareto frontier size
+}
+
+// DecisionSink observes the search's decision stream. Calls arrive in
+// deterministic order on the search goroutine: RoundStart, one Decide
+// per candidate in batch order, RoundEnd. Implementations must not
+// influence the search; a sink is purely observational and, like the
+// span/metrics hooks, never participates in the run fingerprint or the
+// journal bytes.
+type DecisionSink interface {
+	RoundStart(round, candidates int)
+	Decide(d Decision)
+	RoundEnd(s RoundSummary)
+}
+
+// emitRoundDecisions derives one round's decision stream from the batch
+// results, in batch order, and closes the round with the funnel tallies
+// and the post-round search state. preEvals is the log length before
+// the batch ran: an evaluation whose index lands past it was appended
+// this round ("evaluated" — fresh or replayed, indistinguishable by
+// design), anything else was served from the in-run cache. keyOf
+// resolves the assignment key of a budget-pruned candidate that never
+// built an evaluation.
+func emitRoundDecisions(sink DecisionSink, log *Log, c Criteria, round int, keyOf func(i int) string, candidates int, evs []*Evaluation, ok []bool, preEvals int) {
+	s := RoundSummary{Round: round, Candidates: candidates}
+	seen := make(map[string]bool, len(evs))
+	for i, ev := range evs {
+		k := ev.Assignment.Key()
+		d := Decision{
+			Round: round, Seq: i + 1, AKey: k,
+			Status: ev.Status, Speedup: ev.Speedup, RelError: ev.RelError,
+			Lowered: ev.Lowered, Accepted: ok[i],
+		}
+		if ev.Index > preEvals && !seen[k] {
+			d.Outcome = DecisionEvaluated
+			s.Evaluated++
+		} else {
+			d.Outcome = DecisionCached
+			s.Cached++
+		}
+		seen[k] = true
+		if ok[i] {
+			s.Accepted++
+		}
+		sink.Decide(d)
+	}
+	for i := len(evs); i < candidates; i++ {
+		s.Pruned++
+		sink.Decide(Decision{Round: round, Seq: i + 1, AKey: keyOf(i), Outcome: DecisionPruned})
+	}
+	s.Evals = len(log.Evals)
+	if best := log.Best(c); best != nil {
+		s.BestSpeedup = best.Speedup
+		s.BestAKey = best.Assignment.Key()
+	}
+	s.Frontier = len(log.Frontier())
+	sink.RoundEnd(s)
+}

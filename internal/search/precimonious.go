@@ -73,6 +73,11 @@ type Options struct {
 	// the run fingerprint.
 	Span    *obs.Span
 	Metrics *obs.Registry
+	// Decisions, if non-nil, receives the per-round candidate-lifecycle
+	// stream (see DecisionSink). Purely observational like Span/Metrics,
+	// and byte-stable across parallelism and resume by construction: the
+	// stream is derived only from the deterministic evaluation log.
+	Decisions DecisionSink
 }
 
 // Precimonious runs the delta-debugging-based FPPT search of §III-B over
@@ -157,6 +162,10 @@ func Precimonious(ctx context.Context, eval Evaluator, atoms []transform.Atom, o
 		rsp.AttrInt("round", int64(round))
 		rsp.AttrInt("candidates", int64(n))
 		defer rsp.End()
+		if opts.Decisions != nil {
+			opts.Decisions.RoundStart(round, len(cands))
+		}
+		preEvals := len(log.Evals)
 		batch := make([]transform.Assignment, n)
 		for i := 0; i < n; i++ {
 			batch[i] = lowerAllBut(cands[i])
@@ -164,6 +173,10 @@ func Precimonious(ctx context.Context, eval Evaluator, atoms []transform.Atom, o
 		evs := batchEval(ctx, log, eval, batch, opts.Parallelism, rsp)
 		for i, ev := range evs {
 			ok[i] = opts.Criteria.Accept(ev)
+		}
+		if opts.Decisions != nil {
+			keyOf := func(i int) string { return lowerAllBut(cands[i]).Key() }
+			emitRoundDecisions(opts.Decisions, log, opts.Criteria, round, keyOf, len(cands), evs, ok, preEvals)
 		}
 		return ok
 	}
